@@ -1,0 +1,44 @@
+"""Design-choice ablation — overlap-merge vs aligned chunking.
+
+The paper splits the edge array evenly and repairs boundary overlaps
+(the temp-degree merge).  The alternative — aligning chunk boundaries
+to node runs — needs no merge but loses load balance on power-law
+degree distributions.  This bench quantifies that trade-off, which is
+why DESIGN.md calls the paper's choice out as load-bearing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.parallel.chunking import aligned_chunks, balance_ratio, even_chunks
+
+from conftest import report
+
+
+@pytest.mark.parametrize("p", [8, 64])
+def test_aligned_chunking_wallclock(benchmark, medium_standin, p):
+    src = medium_standin.sources
+    chunks = benchmark(aligned_chunks, src, p)
+    assert sum(len(c) for c in chunks) == len(src)
+
+
+def test_chunking_balance_report(benchmark, standins):
+    def measure():
+        rows = []
+        for name, ds in standins.items():
+            for p in (8, 64):
+                even = balance_ratio(even_chunks(len(ds.sources), p))
+                aligned = balance_ratio(aligned_chunks(ds.sources, p))
+                rows.append([name, p, even, aligned])
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # even chunking is perfectly balanced; aligned must be worse
+    # somewhere on these power-law graphs
+    assert all(row[2] == pytest.approx(1.0, abs=0.01) for row in rows)
+    assert any(row[3] > row[2] for row in rows)
+    report(
+        "Chunking ablation: load-balance ratio (max/mean chunk, 1.0 = even)",
+        render_table(["graph", "p", "even+merge (paper)", "run-aligned"], rows),
+    )

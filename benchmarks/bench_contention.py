@@ -1,0 +1,88 @@
+"""Bandwidth-contention ablation — recovering the paper's per-graph spread.
+
+The default cost model gives nearly identical speed-up percentages for
+all four graphs, while the paper's Table II spreads from 83.8% (Orkut)
+to 96.2% (WebNotreDame) at p=64.  EXPERIMENTS.md attributes the spread
+to memory-bus saturation; this bench *tests* that attribution by
+switching on the simulator's opt-in cache+bandwidth term (phase time
+floored at uncached-traffic / bandwidth) and checking the paper's
+ordering emerges: the bigger the graph, the earlier it saturates.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.csr import build_bitpacked_csr
+from repro.datasets import PAPER_GRAPHS, standin
+from repro.parallel import SimulatedMachine
+
+from conftest import report
+
+CACHE_BYTES = 4 * 1024 * 1024  # scaled-down LLC for the 1/64-scale stand-ins
+BANDWIDTH = 25.0  # bytes/ns shared across processors
+MIN_EDGES = 400_000  # same floor as the Table II harness
+
+
+@pytest.fixture(scope="module")
+def floored_standins():
+    out = {}
+    for name, spec in PAPER_GRAPHS.items():
+        scale = min(1.0, max(1 / 64, MIN_EDGES / spec.num_edges))
+        out[name] = standin(name, scale=scale)
+    return out
+
+
+def measure(ds, p, *, contention):
+    kwargs = (
+        {"memory_bandwidth_gbs": BANDWIDTH, "cache_bytes": CACHE_BYTES}
+        if contention
+        else {}
+    )
+    machine = SimulatedMachine(p, **kwargs)
+    build_bitpacked_csr(ds.sources, ds.destinations, ds.num_nodes, machine)
+    return machine.elapsed_ms()
+
+
+def test_contention_recovers_per_graph_spread(benchmark, floored_standins):
+    def sweep():
+        rows = []
+        for name, ds in floored_standins.items():
+            t1_plain = measure(ds, 1, contention=False)
+            t64_plain = measure(ds, 64, contention=False)
+            t1_bus = measure(ds, 1, contention=True)
+            t64_bus = measure(ds, 64, contention=True)
+            rows.append(
+                [
+                    name,
+                    ds.num_edges,
+                    (1 - t64_plain / t1_plain) * 100,
+                    (1 - t64_bus / t1_bus) * 100,
+                    PAPER_GRAPHS[name].speedup_pct[64],
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    plain = {r[0]: r[2] for r in rows}
+    bus = {r[0]: r[3] for r in rows}
+    paper = {r[0]: r[4] for r in rows}
+    # without contention the spread is tiny...
+    assert max(plain.values()) - min(plain.values()) < 2.0
+    # ...with it, a clear spread appears
+    assert max(bus.values()) - min(bus.values()) > 4.0
+    # and the ordering matches the paper's: orkut saturates lowest,
+    # webnotredame scales best
+    assert min(bus, key=bus.get) == min(paper, key=paper.get) == "orkut"
+    assert bus["webnotredame"] > bus["livejournal"] > bus["orkut"]
+    # absolute agreement at the saturating end is striking — keep an
+    # assertion loose enough to survive regeneration
+    assert abs(bus["orkut"] - paper["orkut"]) < 5.0
+    report(
+        "Contention ablation: speed-up@64 (%) with and without the "
+        f"cache+bandwidth term (cache {CACHE_BYTES // 2**20} MiB, "
+        f"{BANDWIDTH:.0f} B/ns)",
+        render_table(
+            ["graph", "edges", "no contention", "with contention", "paper"],
+            rows,
+        ),
+    )

@@ -1,0 +1,138 @@
+"""Related-work ablation — static CSR rebuilds vs dynamic PCSR [9], [13].
+
+Section II: "CSR has the disadvantage of being a static storage format
+that can require shifting the entire edge array when adding an edge",
+which motivated PCSR.  The paper chose the static route and
+parallelised the rebuild; this bench quantifies the alternative it
+declined: per-update cost of PCSR vs full rebuild per batch of the
+static pipeline, and the query-side price PCSR pays.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.csr import build_csr_serial
+from repro.csr.builder import ensure_sorted
+from repro.pcsr import PCSRGraph
+
+from conftest import report
+
+N_NODES = 4_000
+BASE_EDGES = 40_000
+BATCH = 500
+N_BATCHES = 8
+
+
+@pytest.fixture(scope="module")
+def base_edges():
+    rng = np.random.default_rng(41)
+    src, dst = ensure_sorted(
+        rng.integers(0, N_NODES, BASE_EDGES), rng.integers(0, N_NODES, BASE_EDGES)
+    )
+    keys = (src.astype(np.uint64) << np.uint64(32)) | dst.astype(np.uint64)
+    _, first = np.unique(keys, return_index=True)
+    first.sort()
+    return src[first], dst[first]
+
+
+@pytest.fixture(scope="module")
+def update_batches(base_edges):
+    rng = np.random.default_rng(43)
+    batches = []
+    for _ in range(N_BATCHES):
+        au = rng.integers(0, N_NODES, BATCH)
+        av = rng.integers(0, N_NODES, BATCH)
+        picks = rng.integers(0, len(base_edges[0]), BATCH // 2)
+        batches.append(((au, av), (base_edges[0][picks], base_edges[1][picks])))
+    return batches
+
+
+def test_pcsr_build_wallclock(benchmark, base_edges):
+    src, dst = base_edges
+    g = benchmark.pedantic(
+        PCSRGraph.from_edges, args=(src, dst, N_NODES), rounds=1, iterations=1
+    )
+    assert g.num_edges == len(src)
+
+
+def test_pcsr_update_batch_wallclock(benchmark, base_edges, update_batches):
+    src, dst = base_edges
+    g = PCSRGraph.from_edges(src, dst, N_NODES)
+    batch_iter = iter(update_batches * 50)
+
+    def apply_one():
+        adds, dels = next(batch_iter)
+        return g.apply_batch(additions=adds, deletions=dels)
+
+    benchmark.pedantic(apply_one, rounds=min(6, N_BATCHES), iterations=1)
+    g.check_invariants()
+
+
+def test_static_rebuild_batch_wallclock(benchmark, base_edges, update_batches):
+    """The static alternative: re-sort + rebuild the whole CSR per batch."""
+    src, dst = base_edges
+
+    def rebuild():
+        adds, dels = update_batches[0]
+        del_keys = (dels[0].astype(np.uint64) << np.uint64(32)) | dels[1].astype(np.uint64)
+        keys = (src.astype(np.uint64) << np.uint64(32)) | dst.astype(np.uint64)
+        keep = ~np.isin(keys, del_keys)
+        new_src = np.concatenate([src[keep], adds[0]])
+        new_dst = np.concatenate([dst[keep], adds[1]])
+        new_src, new_dst = ensure_sorted(new_src, new_dst)
+        return build_csr_serial(new_src, new_dst, N_NODES)
+
+    g = benchmark.pedantic(rebuild, rounds=3, iterations=1)
+    assert g.num_edges > 0
+
+
+def test_dynamic_tradeoff_report(benchmark, base_edges, update_batches):
+    def measure():
+        src, dst = base_edges
+        # dynamic path
+        pcsr = PCSRGraph.from_edges(src, dst, N_NODES)
+        start = time.perf_counter()
+        for adds, dels in update_batches:
+            pcsr.apply_batch(additions=adds, deletions=dels)
+        dyn_per_batch_ms = (time.perf_counter() - start) / N_BATCHES * 1e3
+
+        # static path: full rebuild each batch
+        cur_src, cur_dst = src, dst
+        start = time.perf_counter()
+        for adds, dels in update_batches:
+            del_keys = (dels[0].astype(np.uint64) << np.uint64(32)) | dels[1].astype(np.uint64)
+            keys = (cur_src.astype(np.uint64) << np.uint64(32)) | cur_dst.astype(np.uint64)
+            keep = ~np.isin(keys, del_keys)
+            cur_src = np.concatenate([cur_src[keep], adds[0]])
+            cur_dst = np.concatenate([cur_dst[keep], adds[1]])
+            cur_src, cur_dst = ensure_sorted(cur_src, cur_dst)
+            static = build_csr_serial(cur_src, cur_dst, N_NODES)
+        static_per_batch_ms = (time.perf_counter() - start) / N_BATCHES * 1e3
+
+        # query price: neighbor scan latency
+        rng = np.random.default_rng(47)
+        nodes = rng.integers(0, N_NODES, 2000)
+        start = time.perf_counter()
+        for u in nodes.tolist():
+            pcsr.neighbors(u)
+        pcsr_q_us = (time.perf_counter() - start) / 2000 * 1e6
+        start = time.perf_counter()
+        for u in nodes.tolist():
+            static.neighbors(u)
+        csr_q_us = (time.perf_counter() - start) / 2000 * 1e6
+        return [
+            ["static CSR (rebuild)", static_per_batch_ms, csr_q_us,
+             static.memory_bytes()],
+            ["PCSR (in-place)", dyn_per_batch_ms, pcsr_q_us,
+             pcsr.memory_bytes()],
+        ]
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(
+        f"Dynamic-updates ablation ({BATCH} adds + {BATCH // 2} deletes per batch, "
+        f"{BASE_EDGES} base edges)",
+        render_table(["store", "ms/update-batch", "us/neighbor-query", "bytes"], rows),
+    )

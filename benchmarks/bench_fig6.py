@@ -1,0 +1,36 @@
+"""Figure 6 — construction time vs number of processors (4 curves).
+
+The paper's observed shape: "a rapid decline is seen when going from 1
+processor to 4, then a steady decline with 8 and 16, followed by a
+decent drop in time with 64 processors."  The assertions below encode
+exactly that, and the rendered series lands in the terminal summary.
+"""
+
+import pytest
+
+from repro.analysis.compare import check_fig6, render_checks
+from repro.analysis.experiments import render_fig6, run_fig6
+
+from conftest import report
+
+
+def test_fig6_time_vs_processors(benchmark, bench_scale):
+    def run():
+        return run_fig6(scale=bench_scale)
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, curve in curves.items():
+        t = curve.times_ms
+        # monotone decreasing over the sweep
+        ordered = [t[p] for p in sorted(t)]
+        assert ordered == sorted(ordered, reverse=True), name
+        # rapid decline 1 -> 4: more than half the time gone
+        assert t[4] < 0.55 * t[1], name
+        # steady decline 8 -> 16: improvement, but less than 2x
+        assert t[16] < t[8] < 2.2 * t[16], name
+        # decent further drop by 64
+        assert t[64] < 0.8 * t[16], name
+    checks = check_fig6(curves)
+    assert all(c.passed for c in checks), [c.claim for c in checks if not c.passed]
+    report("Figure 6 (reproduced)", render_fig6(curves))
+    report("Figure 6 shape verdicts", render_checks("claims vs measured", checks))

@@ -1,0 +1,42 @@
+"""Figure 7 — speed-up (%) gained using multiple processors.
+
+Derived from the Figure 6 sweep exactly as the paper derives its final
+Table II column.  The shape target: speed-up grows monotonically with
+p and lands in the paper's 58-97% band over p in {4..64}; the rendered
+series overlays the paper's own points for eyeball comparison.
+"""
+
+import pytest
+
+from repro.analysis.compare import check_fig7, render_checks
+from repro.analysis.experiments import fig7_from_fig6, render_fig7, run_fig6
+from repro.analysis.speedup import amdahl_fit
+from repro.datasets import PAPER_GRAPHS
+
+from conftest import report
+
+
+def test_fig7_speedup_percent(benchmark, bench_scale):
+    def run():
+        return run_fig6(scale=bench_scale)
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    percents = fig7_from_fig6(curves)
+    for name, series in percents.items():
+        values = [series[p] for p in sorted(series)]
+        assert values == sorted(values), name  # monotone in p
+        for p in (4, 8, 16, 64):
+            assert 40.0 < series[p] < 99.0, (name, p, series[p])
+        # same saturating family as the paper: a nonzero Amdahl serial
+        # fraction must explain the curve
+        ps = sorted(curves[name].times_ms)
+        s = amdahl_fit(ps, [curves[name].times_ms[p] for p in ps])
+        assert 0.0 < s < 0.3, (name, s)
+    # paper's own band at p=64 is 83.8-96.2%; ours must overlap it
+    at64 = [series[64] for series in percents.values()]
+    paper64 = [spec.speedup_pct[64] for spec in PAPER_GRAPHS.values()]
+    assert max(at64) > min(paper64)
+    checks = check_fig7(curves)
+    assert all(c.passed for c in checks), [c.claim for c in checks if not c.passed]
+    report("Figure 7 (reproduced, with paper overlay)", render_fig7(curves))
+    report("Figure 7 shape verdicts", render_checks("claims vs measured", checks))

@@ -1,0 +1,100 @@
+"""Section V ablation — parallel query throughput.
+
+Batched neighbourhood queries (Algorithm 6), batched edge existence
+(Algorithm 7, scan vs the binary-search extension), and single-edge
+row-splitting (Algorithm 8), on the uncompressed and bit-packed CSR,
+with the simulated p-sweep showing the claimed query parallelism.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_series
+from repro.csr import BitPackedCSR, build_csr_serial
+from repro.parallel import SerialExecutor, SimulatedMachine
+from repro.query import QueryEngine, batch_edge_existence, batch_neighbors
+
+from conftest import report
+
+N_QUERIES = 2_000
+
+
+@pytest.fixture(scope="module")
+def stores(medium_standin):
+    ds = medium_standin
+    csr = build_csr_serial(ds.sources, ds.destinations, ds.num_nodes)
+    return {"csr": csr, "packed": BitPackedCSR.from_csr(csr)}
+
+
+@pytest.fixture(scope="module")
+def node_queries(medium_standin):
+    rng = np.random.default_rng(11)
+    return rng.integers(0, medium_standin.num_nodes, N_QUERIES)
+
+
+@pytest.fixture(scope="module")
+def edge_queries(medium_standin, stores):
+    rng = np.random.default_rng(13)
+    n = medium_standin.num_nodes
+    qs = np.stack([rng.integers(0, n, N_QUERIES), rng.integers(0, n, N_QUERIES)], axis=1)
+    src, dst = stores["csr"].edges()
+    picks = rng.integers(0, len(src), N_QUERIES // 2)
+    qs[: N_QUERIES // 2, 0] = src[picks]
+    qs[: N_QUERIES // 2, 1] = dst[picks]
+    return qs
+
+
+@pytest.mark.parametrize("store_name", ["csr", "packed"])
+def test_batch_neighbors_wallclock(benchmark, stores, node_queries, store_name):
+    store = stores[store_name]
+    ex = SerialExecutor()
+    rows = benchmark(batch_neighbors, store, node_queries, ex)
+    assert len(rows) == N_QUERIES
+
+
+@pytest.mark.parametrize("method", ["scan", "bisect"])
+def test_batch_edges_wallclock(benchmark, stores, edge_queries, method):
+    out = benchmark(
+        batch_edge_existence, stores["csr"], edge_queries, SerialExecutor(), method=method
+    )
+    assert out.sum() >= N_QUERIES // 2  # planted edges found
+
+
+def test_single_edge_row_split(benchmark, stores):
+    csr = stores["csr"]
+    u = int(np.argmax(csr.degrees()))
+    v = int(csr.neighbors(u)[-1])
+    engine = QueryEngine(csr, SimulatedMachine(8))
+
+    def run():
+        return engine.has_edge(u, v, method="scan")
+
+    assert benchmark(run)
+
+
+def test_query_throughput_scaling_report(benchmark, stores, node_queries, edge_queries):
+    """Simulated p-sweep of both batch query algorithms on the packed CSR."""
+
+    def sweep():
+        out = {"neighbors": {}, "edges-scan": {}, "edges-bisect": {}}
+        store = stores["packed"]
+        for p in (1, 4, 16, 64):
+            m = SimulatedMachine(p)
+            batch_neighbors(store, node_queries, m)
+            out["neighbors"][p] = m.elapsed_ms()
+            m = SimulatedMachine(p)
+            batch_edge_existence(store, edge_queries, m, method="scan")
+            out["edges-scan"][p] = m.elapsed_ms()
+            m = SimulatedMachine(p)
+            batch_edge_existence(store, edge_queries, m, method="bisect")
+            out["edges-bisect"][p] = m.elapsed_ms()
+        return out
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for name, curve in series.items():
+        assert curve[64] < curve[1] / 8, name  # queries parallelise well
+    assert series["edges-bisect"][1] < series["edges-scan"][1]
+    report(
+        "Section V ablation: batched query time vs processors (simulated ms, 2k queries)",
+        render_series("query batches on bit-packed CSR", series),
+    )

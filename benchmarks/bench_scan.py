@@ -1,0 +1,61 @@
+"""Figure 2 mechanism bench — the chunked parallel prefix sum.
+
+Wall-clock of the real kernels (numpy cumsum vs the chunked scan) plus
+the simulated scaling curve of Algorithm 1 in isolation, which is
+near-linear because the scan's only sequential part is the O(p) carry
+chain.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_series
+from repro.parallel import SerialExecutor, SimulatedMachine
+from repro.parallel.scan import prefix_sum_parallel, prefix_sum_serial
+
+from conftest import report
+
+N = 2_000_000
+
+
+@pytest.fixture(scope="module")
+def array():
+    return np.random.default_rng(7).integers(0, 1000, N)
+
+
+def test_numpy_cumsum_baseline(benchmark, array):
+    out = benchmark(prefix_sum_serial, array)
+    assert out[-1] == array.sum()
+
+
+def test_chunked_scan_serial_executor(benchmark, array):
+    ex = SerialExecutor()
+    out = benchmark(prefix_sum_parallel, array, ex)
+    assert out[-1] == array.sum()
+
+
+@pytest.mark.parametrize("p", [4, 64])
+def test_chunked_scan_simulated(benchmark, array, p):
+    def run():
+        return prefix_sum_parallel(array, SimulatedMachine(p))
+
+    out = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert out[-1] == array.sum()
+
+
+def test_scan_scaling_report(benchmark, array):
+    def sweep():
+        times = {}
+        for p in (1, 2, 4, 8, 16, 32, 64):
+            machine = SimulatedMachine(p)
+            prefix_sum_parallel(array, machine)
+            times[p] = machine.elapsed_ms()
+        return times
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # the scan alone scales almost linearly (tiny serial fraction)
+    assert times[64] < times[1] / 20
+    report(
+        "Figure 2 mechanism: chunked prefix-sum scaling (simulated ms)",
+        render_series("prefix sum over 2M elements", {"scan": times}),
+    )

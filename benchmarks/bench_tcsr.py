@@ -1,0 +1,62 @@
+"""Figures 4-5 mechanism bench — time-evolving differential CSR.
+
+Construction time of Algorithm 5 vs processors (simulated), plus the
+storage comparison that motivates Section IV: differential TCSR vs a
+full CSR per frame.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_series, render_table
+from repro.parallel import SerialExecutor, SimulatedMachine
+from repro.temporal import build_tcsr, build_tcsr_serial, full_frame_csrs
+from repro.utils import human_bytes
+
+from conftest import report
+
+
+def test_tcsr_build_wallclock(benchmark, event_stream):
+    tcsr = benchmark.pedantic(
+        build_tcsr, args=(event_stream, SerialExecutor()), rounds=3, iterations=1
+    )
+    assert tcsr.num_frames == event_stream.num_frames
+
+
+def test_tcsr_serial_reference_wallclock(benchmark, event_stream):
+    tcsr = benchmark.pedantic(
+        build_tcsr_serial, args=(event_stream,), rounds=3, iterations=1
+    )
+    assert tcsr.num_frames == event_stream.num_frames
+
+
+def test_tcsr_scaling_and_storage_report(benchmark, event_stream):
+    def sweep():
+        times = {}
+        for p in (1, 4, 16, 64):
+            machine = SimulatedMachine(p)
+            build_tcsr(event_stream, machine)
+            times[p] = machine.elapsed_ms()
+        return times
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert times[64] < times[1]
+    report(
+        "Algorithm 5: TCSR construction time vs processors (simulated ms)",
+        render_series("TCSR build", {"tcsr": times}),
+    )
+
+    tcsr = build_tcsr(event_stream)
+    full = full_frame_csrs(event_stream)
+    full_bytes = sum(c.memory_bytes() for c in full)
+    ratio = full_bytes / tcsr.memory_bytes()
+    assert ratio > 2.0  # differential storage must win clearly
+    report(
+        "Section IV storage: differential TCSR vs full per-frame CSRs",
+        render_table(
+            ["store", "bytes", "vs TCSR"],
+            [
+                ["differential TCSR", human_bytes(tcsr.memory_bytes()), "1.0x"],
+                ["full CSR per frame", human_bytes(full_bytes), f"{ratio:.1f}x"],
+            ],
+        ),
+    )

@@ -1,0 +1,68 @@
+"""Benchmark harness plumbing.
+
+Benches register paper-style tables/figures via :func:`report`; a
+``pytest_terminal_summary`` hook prints everything at the end of the
+run so the artifacts survive pytest's output capture and land in
+``bench_output.txt``.  Session-scoped dataset fixtures keep generation
+out of the timed regions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import churn_events, standin
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+def report(title: str, body: str) -> None:
+    """Queue a rendered artifact for the end-of-run summary."""
+    _REPORTS.append((title, body))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.ensure_newline()
+    terminalreporter.section("paper artifacts (reproduced)")
+    for title, body in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"=== {title} ===")
+        for line in body.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Fraction of paper edge counts used by the bench stand-ins."""
+    return 1 / 64
+
+
+@pytest.fixture(scope="session")
+def standins(bench_scale):
+    """All four Table II stand-ins, generated once per session."""
+    return {
+        name: standin(name, scale=bench_scale)
+        for name in ("livejournal", "pokec", "orkut", "webnotredame")
+    }
+
+
+@pytest.fixture(scope="session")
+def medium_standin():
+    """A single mid-size graph for per-kernel benches."""
+    return standin("pokec", scale=1 / 64)
+
+
+@pytest.fixture(scope="session")
+def event_stream():
+    """A churny temporal workload for the TCSR benches."""
+    return churn_events(
+        5_000,
+        40_000,
+        32,
+        add_per_frame=2_000,
+        delete_per_frame=1_200,
+        rng=np.random.default_rng(2023),
+    )

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Regenerate the paper's evaluation artifacts (Table II, Figs 6-7).
+
+Same code path as the benches, with a smaller default scale so it
+finishes in seconds.  Pass a scale factor to go bigger:
+
+Run:  python examples/parallel_scaling_report.py [scale]
+      python examples/parallel_scaling_report.py 0.015625   # 1/64
+"""
+
+import sys
+
+from repro.analysis import (
+    amdahl_fit,
+    render_fig6,
+    render_fig7,
+    run_fig6,
+    run_table2,
+)
+
+scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1 / 256
+
+print("running Table II sweep (this executes the full pipeline once per "
+      "graph and processor count)...\n")
+table2 = run_table2(scale=scale, min_edges=100_000)
+print(table2.render())
+print()
+print(table2.render_projection())
+
+print("\nrunning Figure 6/7 sweep...\n")
+curves = run_fig6(scale=scale, min_edges=100_000)
+print(render_fig6(curves))
+print()
+print(render_fig7(curves))
+
+print("\nAmdahl serial fractions implied by the measured curves")
+print("(the paper's 'inherent sequential steps'):")
+for name, curve in curves.items():
+    ps = sorted(curve.times_ms)
+    s = amdahl_fit(ps, [curve.times_ms[p] for p in ps])
+    print(f"  {name:14s} serial fraction ~ {s:.3f}")

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so `pip install -e .` works on minimal offline environments that
+lack the `wheel` package (pip falls back to `setup.py develop`).  All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

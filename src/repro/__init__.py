@@ -1,0 +1,84 @@
+"""repro — Parallel Techniques for Compressing and Querying Massive
+Social Networks (IPPS 2023), reproduced as a Python library.
+
+Public surface, by paper section:
+
+* Section III (parallel CSR construction + bit packing):
+  :func:`build_csr`, :func:`build_bitpacked_csr`, :class:`CSRGraph`,
+  :class:`BitPackedCSR`, :func:`prefix_sum_parallel`.
+* Section IV (time-evolving differential CSR):
+  :class:`EventList`, :func:`build_tcsr`, :class:`TemporalCSR`.
+* Section V (parallel queries): :class:`QueryEngine`.
+* Section VI (evaluation harness): :mod:`repro.analysis`,
+  :mod:`repro.datasets`, :mod:`repro.baselines`.
+* Executors: :class:`SerialExecutor`, :class:`ThreadExecutor`, and the
+  :class:`SimulatedMachine` used for processor sweeps (DESIGN.md §1).
+"""
+
+from . import analysis, baselines, bitpack, csr, datasets, parallel, query, temporal
+from .csr import (
+    BitPackedCSR,
+    CSRGraph,
+    build_bitpacked_csr,
+    build_csr,
+    build_csr_serial,
+    read_edge_list,
+    write_edge_list,
+)
+from .errors import (
+    CodecError,
+    FieldOverflowError,
+    FrameError,
+    NotSortedError,
+    QueryError,
+    ReproError,
+    ValidationError,
+)
+from .parallel import (
+    CostModel,
+    Executor,
+    SerialExecutor,
+    SimulatedMachine,
+    ThreadExecutor,
+    prefix_sum_parallel,
+)
+from .query import QueryEngine
+from .temporal import EventList, TemporalCSR, build_tcsr
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "baselines",
+    "bitpack",
+    "csr",
+    "datasets",
+    "parallel",
+    "query",
+    "temporal",
+    "BitPackedCSR",
+    "CSRGraph",
+    "build_bitpacked_csr",
+    "build_csr",
+    "build_csr_serial",
+    "read_edge_list",
+    "write_edge_list",
+    "CodecError",
+    "FieldOverflowError",
+    "FrameError",
+    "NotSortedError",
+    "QueryError",
+    "ReproError",
+    "ValidationError",
+    "CostModel",
+    "Executor",
+    "SerialExecutor",
+    "SimulatedMachine",
+    "ThreadExecutor",
+    "prefix_sum_parallel",
+    "QueryEngine",
+    "EventList",
+    "TemporalCSR",
+    "build_tcsr",
+    "__version__",
+]

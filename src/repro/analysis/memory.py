@@ -1,0 +1,103 @@
+"""Memory-footprint accounting and paper-scale projection.
+
+Two jobs: (1) byte-exact footprints of every store on the graphs we
+actually build, and (2) closed-form projections of what each
+representation costs at the *published* node/edge counts, so Table II's
+size columns can be compared at the paper's own scale without
+processing 117M edges in Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils import bits_for_count, bits_for_value, ceil_div, human_bytes, require
+
+__all__ = [
+    "StoreFootprint",
+    "footprint",
+    "projected_packed_csr_bytes",
+    "projected_raw_csr_bytes",
+    "projected_edgelist_text_bytes",
+    "projected_edgelist_binary_bytes",
+    "projected_dense_matrix_bytes",
+]
+
+
+@dataclass(frozen=True)
+class StoreFootprint:
+    """One store's measured footprint."""
+
+    store: str
+    nbytes: int
+    bits_per_edge: float
+
+    def __str__(self) -> str:
+        return f"{self.store}: {human_bytes(self.nbytes)} ({self.bits_per_edge:.2f} b/edge)"
+
+
+def footprint(name: str, store) -> StoreFootprint:
+    """Measured footprint of any object exposing ``memory_bytes``."""
+    nbytes = int(store.memory_bytes())
+    m = int(getattr(store, "num_edges", 0))
+    return StoreFootprint(name, nbytes, 8.0 * nbytes / m if m else 0.0)
+
+
+def projected_packed_csr_bytes(n: int, m: int) -> int:
+    """Bit-packed CSR bytes at (n, m) scale, per Algorithm 4's layout.
+
+    ``iA``: (n + 1) fields of ``bits_for_value(m)`` bits; ``jA``: m
+    fields of ``bits_for_count(n)`` bits.  This is the closed form of
+    :meth:`BitPackedCSR.memory_bytes`.
+    """
+    require(n >= 0 and m >= 0, "sizes must be non-negative")
+    ia_bits = (n + 1) * bits_for_value(m)
+    ja_bits = m * bits_for_count(n)
+    return ceil_div(ia_bits, 8) + ceil_div(ja_bits, 8)
+
+
+def projected_raw_csr_bytes(n: int, m: int, *, index_bytes: int = 4) -> int:
+    """Uncompressed CSR bytes with *index_bytes*-wide integers."""
+    require(n >= 0 and m >= 0, "sizes must be non-negative")
+    offset_bytes = 8 if m > np.iinfo(np.uint32).max else index_bytes
+    return (n + 1) * offset_bytes + m * index_bytes
+
+
+def _expected_digits(n: int) -> float:
+    """Expected decimal digit count of a uniform id in [0, n)."""
+    if n <= 1:
+        return 1.0
+    total = 0.0
+    d = 1
+    lo = 0
+    while lo < n:
+        hi = min(n, 10**d)
+        total += (hi - lo) * d
+        lo = hi
+        d += 1
+    return total / n
+
+
+def projected_edgelist_text_bytes(n: int, m: int) -> int:
+    """Expected text edge-list bytes for m uniform edges over n nodes.
+
+    Per edge: two ids at the expected digit count, a tab, a newline —
+    matching :func:`repro.csr.io.edge_list_text_size` in expectation.
+    """
+    require(n >= 0 and m >= 0, "sizes must be non-negative")
+    return int(round(m * (2 * _expected_digits(max(1, n)) + 2)))
+
+
+def projected_edgelist_binary_bytes(n: int, m: int) -> int:
+    """Binary edge-list bytes (two 4- or 8-byte ids per edge)."""
+    width = 4 if n <= np.iinfo(np.uint32).max else 8
+    return 2 * m * width
+
+
+def projected_dense_matrix_bytes(n: int, *, bits_per_cell: int = 1) -> int:
+    """Dense matrix bytes — the introduction's Friendster arithmetic."""
+    require(n >= 0, "n must be non-negative")
+    require(bits_per_cell in (1, 8, 32, 64), "unsupported cell width")
+    return ceil_div(n * n * bits_per_cell, 8)

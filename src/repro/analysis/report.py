@@ -1,0 +1,117 @@
+"""One-call reproduction report.
+
+``build_report()`` reruns the paper's evaluation artifacts (Table II,
+Figures 6-7) plus the shape verdicts, and renders everything into a
+single markdown document — the artifact a reviewer would ask for.
+Exposed on the CLI as ``python -m repro report out.md``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..parallel.cost import CostModel, DEFAULT_COST_MODEL
+from .compare import check_fig6, check_fig7, check_table2, render_checks
+from .experiments import (
+    render_fig6,
+    render_fig7,
+    run_fig6,
+    run_table2,
+)
+from .speedup import amdahl_fit
+
+__all__ = ["build_report", "write_report"]
+
+
+def build_report(
+    *,
+    scale: float = 1 / 256,
+    min_edges: int = 100_000,
+    seed: int = 2023,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> str:
+    """The full reproduction report as markdown text."""
+    table2 = run_table2(
+        scale=scale, min_edges=min_edges, seed=seed, cost_model=cost_model
+    )
+    curves = run_fig6(
+        scale=scale, min_edges=min_edges, seed=seed, cost_model=cost_model
+    )
+    t2_checks = check_table2(table2)
+    f6_checks = check_fig6(curves)
+    f7_checks = check_fig7(curves)
+    all_checks = t2_checks + f6_checks + f7_checks
+    passed = sum(c.passed for c in all_checks)
+
+    sections = [
+        "# Reproduction report",
+        "",
+        "Paper: *Parallel Techniques for Compressing and Querying Massive "
+        "Social Networks* (IPPS 2023).",
+        f"Workloads: synthetic stand-ins at scale {scale:g} of the published "
+        f"edge counts (floor {min_edges:,} edges), seed {seed}.",
+        "Times: simulated bulk-synchronous machine (see DESIGN.md §1/§4); "
+        "sizes: measured on the stand-ins, projected to paper scale with the "
+        "validated closed-form model.",
+        "",
+        f"**Shape verdicts: {passed}/{len(all_checks)} claims reproduced.**",
+        "",
+        "## Table II",
+        "",
+        "```",
+        table2.render(),
+        "```",
+        "",
+        "```",
+        table2.render_projection(),
+        "```",
+        "",
+        "```",
+        render_checks("Table II claims", t2_checks),
+        "```",
+        "",
+        "## Figure 6",
+        "",
+        "```",
+        render_fig6(curves),
+        "```",
+        "",
+        "```",
+        render_checks("Figure 6 claims", f6_checks),
+        "```",
+        "",
+        "## Figure 7",
+        "",
+        "```",
+        render_fig7(curves),
+        "```",
+        "",
+        "```",
+        render_checks("Figure 7 claims", f7_checks),
+        "```",
+        "",
+        "## Amdahl view",
+        "",
+        "Serial fractions implied by the measured curves (the paper's "
+        "\"inherent sequential steps\"):",
+        "",
+    ]
+    for name, curve in curves.items():
+        ps = sorted(curve.times_ms)
+        s = amdahl_fit(ps, [curve.times_ms[p] for p in ps])
+        sections.append(f"- {name}: {s:.3f}")
+    sections.append("")
+    sections.append(
+        "Run `pytest benchmarks/ --benchmark-only` for the ablation suite "
+        "(stores, codecs, chunking, dynamic updates, temporal baselines, "
+        "downstream algorithms, cost-model sensitivity)."
+    )
+    sections.append("")
+    return "\n".join(sections)
+
+
+def write_report(path, **kwargs) -> Path:
+    """Build the report and write it to *path*; returns the path."""
+    out = Path(path)
+    out.write_text(build_report(**kwargs), encoding="utf-8")
+    return out

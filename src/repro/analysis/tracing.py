@@ -1,0 +1,94 @@
+"""Trace analysis for the simulated machine.
+
+A :class:`~repro.parallel.machine.SimulatedMachine` built with
+``record_trace=True`` keeps one :class:`PhaseRecord` per phase; this
+module turns that trace into the tables the benches and examples print:
+time attribution per algorithm phase, the parallel/serial split, and
+per-phase load imbalance — the data behind DESIGN.md §4's claim about
+where the sequential fraction lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+from ..parallel.machine import PhaseRecord, SimulatedMachine
+from .tables import render_table
+
+__all__ = ["TraceSummary", "summarize_trace", "render_trace", "serial_fraction"]
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregated view of one label's phases."""
+
+    label: str
+    kind: str
+    calls: int
+    total_ns: float
+    share: float  # of the whole trace
+    max_imbalance: float
+
+
+def summarize_trace(machine: SimulatedMachine) -> list[TraceSummary]:
+    """Per-label aggregation of a recorded trace, largest first."""
+    if not machine.record_trace:
+        raise ValidationError("machine was not built with record_trace=True")
+    total = sum(rec.duration_ns for rec in machine.trace) or 1.0
+    grouped: dict[str, list[PhaseRecord]] = {}
+    for rec in machine.trace:
+        grouped.setdefault(rec.label, []).append(rec)
+    out = []
+    for label, records in grouped.items():
+        ns = sum(r.duration_ns for r in records)
+        out.append(
+            TraceSummary(
+                label=label,
+                kind=records[0].kind,
+                calls=len(records),
+                total_ns=ns,
+                share=ns / total,
+                max_imbalance=max(r.imbalance for r in records),
+            )
+        )
+    out.sort(key=lambda s: -s.total_ns)
+    return out
+
+
+def serial_fraction(machine: SimulatedMachine) -> float:
+    """Share of simulated time spent outside parallel phases.
+
+    The structural Amdahl bound of the run: with infinitely many
+    processors only the parallel phases shrink, so this fraction is a
+    floor on ``T_inf / T_p``.
+    """
+    if not machine.record_trace:
+        raise ValidationError("machine was not built with record_trace=True")
+    total = sum(rec.duration_ns for rec in machine.trace)
+    if total == 0:
+        return 0.0
+    serial = sum(
+        rec.duration_ns for rec in machine.trace if rec.kind in ("serial", "locked")
+    )
+    return serial / total
+
+
+def render_trace(machine: SimulatedMachine, *, title: str = "phase breakdown") -> str:
+    """The trace as an aligned text table (largest phases first)."""
+    rows = [
+        [
+            s.label,
+            s.kind,
+            s.calls,
+            s.total_ns / 1e6,
+            f"{s.share * 100:.1f}%",
+            f"{s.max_imbalance:.2f}",
+        ]
+        for s in summarize_trace(machine)
+    ]
+    return render_table(
+        ["phase", "kind", "calls", "ms", "share", "max imbalance"],
+        rows,
+        title=title,
+    )

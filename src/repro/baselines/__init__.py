@@ -1,0 +1,19 @@
+"""Baseline graph stores for the Section VI comparisons.
+
+Every store satisfies :class:`repro.query.GraphStore`, so the query
+engine and the store-comparison bench treat them uniformly.  The fair
+sequential CSR builder (the p=1 baseline of Table II) lives in
+:func:`repro.csr.build_csr_serial`.
+"""
+
+from .adjlist import AdjacencyListStore
+from .adjmatrix import AdjacencyMatrixStore, BitMatrixStore
+from .edgelist import EdgeListStore, UnsortedEdgeListStore
+
+__all__ = [
+    "AdjacencyListStore",
+    "AdjacencyMatrixStore",
+    "BitMatrixStore",
+    "EdgeListStore",
+    "UnsortedEdgeListStore",
+]

@@ -1,0 +1,142 @@
+"""Dense adjacency-matrix stores — the paper's motivating strawman.
+
+The introduction sizes Friendster at "about 30.02 Petabytes" in matrix
+form; these stores make that arithmetic concrete.  Two variants:
+
+* :class:`AdjacencyMatrixStore` — one byte per cell (``np.bool_``).
+* :class:`BitMatrixStore` — one *bit* per cell via ``np.packbits``
+  rows, still Θ(n²) but 8× smaller; queries unpack single bits.
+
+Both refuse to materialise beyond a node cap so a typo cannot allocate
+the petabytes the paper warns about; the classmethod
+:meth:`AdjacencyMatrixStore.projected_bytes` does the Table-scale
+arithmetic without allocating.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..csr.builder import check_edge_list
+from ..errors import QueryError, ValidationError
+from ..utils import human_bytes
+
+__all__ = ["AdjacencyMatrixStore", "BitMatrixStore"]
+
+_DEFAULT_NODE_CAP = 20_000
+
+
+class AdjacencyMatrixStore:
+    """Dense boolean matrix store (byte per cell)."""
+
+    __slots__ = ("num_nodes", "matrix", "_m")
+
+    def __init__(self, sources, destinations, n: int, *, node_cap: int = _DEFAULT_NODE_CAP):
+        if n > node_cap:
+            raise ValidationError(
+                f"refusing to allocate a dense {n}x{n} matrix "
+                f"({human_bytes(self.projected_bytes(n))}); raise node_cap to override"
+            )
+        src, dst = check_edge_list(sources, destinations, n)
+        self.num_nodes = int(n)
+        self.matrix = np.zeros((n, n), dtype=np.bool_)
+        self.matrix[src, dst] = True
+        self._m = int(self.matrix.sum())
+
+    @staticmethod
+    def projected_bytes(n: int) -> int:
+        """Matrix bytes for *n* nodes without allocating (1 B/cell)."""
+        return int(n) * int(n)
+
+    @property
+    def num_edges(self) -> int:
+        return self._m
+
+    def _check(self, u: int) -> None:
+        if not (0 <= u < self.num_nodes):
+            raise QueryError(f"node {u} out of range [0, {self.num_nodes})")
+
+    def degree(self, u: int) -> int:
+        """Out-degree of *u*."""
+        self._check(u)
+        return int(self.matrix[u].sum())
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Destinations adjacent to *u*, sorted."""
+        self._check(u)
+        return np.flatnonzero(self.matrix[u]).astype(np.int64)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True when the edge (u, v) exists."""
+        self._check(u)
+        self._check(v)
+        return bool(self.matrix[u, v])
+
+    def memory_bytes(self) -> int:
+        """Resident bytes of this structure's payload."""
+        return self.matrix.nbytes
+
+    def __repr__(self) -> str:
+        return (
+            f"AdjacencyMatrixStore(n={self.num_nodes}, m={self.num_edges}, "
+            f"mem={human_bytes(self.memory_bytes())})"
+        )
+
+
+class BitMatrixStore:
+    """Dense bit-per-cell matrix (rows packed with ``np.packbits``)."""
+
+    __slots__ = ("num_nodes", "rows", "_m")
+
+    def __init__(self, sources, destinations, n: int, *, node_cap: int = 8 * _DEFAULT_NODE_CAP):
+        if n > node_cap:
+            raise ValidationError(
+                f"refusing to allocate a {n}x{n} bit matrix "
+                f"({human_bytes(self.projected_bytes(n))}); raise node_cap to override"
+            )
+        src, dst = check_edge_list(sources, destinations, n)
+        self.num_nodes = int(n)
+        dense = np.zeros((n, max(1, n)), dtype=np.uint8)
+        dense[src, dst] = 1
+        self._m = int(dense.sum())
+        self.rows = np.packbits(dense, axis=1, bitorder="little")
+
+    @staticmethod
+    def projected_bytes(n: int) -> int:
+        """Bit-matrix bytes for *n* nodes without allocating."""
+        return int(n) * ((int(n) + 7) // 8)
+
+    @property
+    def num_edges(self) -> int:
+        return self._m
+
+    def _check(self, u: int) -> None:
+        if not (0 <= u < self.num_nodes):
+            raise QueryError(f"node {u} out of range [0, {self.num_nodes})")
+
+    def degree(self, u: int) -> int:
+        """Out-degree of *u*."""
+        self._check(u)
+        return int(np.unpackbits(self.rows[u], bitorder="little")[: self.num_nodes].sum())
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Destinations adjacent to *u*, sorted."""
+        self._check(u)
+        bits = np.unpackbits(self.rows[u], bitorder="little")[: self.num_nodes]
+        return np.flatnonzero(bits).astype(np.int64)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True when the edge (u, v) exists."""
+        self._check(u)
+        self._check(v)
+        return bool((int(self.rows[u, v >> 3]) >> (v & 7)) & 1)
+
+    def memory_bytes(self) -> int:
+        """Resident bytes of this structure's payload."""
+        return self.rows.nbytes
+
+    def __repr__(self) -> str:
+        return (
+            f"BitMatrixStore(n={self.num_nodes}, m={self.num_edges}, "
+            f"mem={human_bytes(self.memory_bytes())})"
+        )

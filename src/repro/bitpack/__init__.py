@@ -1,0 +1,80 @@
+"""Bit-packing substrate: the codec of [7] plus ablation comparators.
+
+Fixed-width packing (:func:`pack_fixed`) is what the paper's Algorithm 4
+applies to the CSR offset and column arrays; varint/Elias/gap codecs are
+provided for the codec ablation bench and the temporal baselines.
+"""
+
+from .bitarray import BitArray, BitReader, BitWriter, blit_bits
+from .k2tree import K2Tree
+from .rank import RankBitVector
+from .wavelet import WaveletTree
+from .delta import (
+    delta_decode_sorted,
+    delta_encode_sorted,
+    row_gaps,
+    rows_from_gaps,
+)
+from .elias import (
+    EliasDeltaCodec,
+    EliasGammaCodec,
+    delta_decode,
+    delta_encode,
+    gamma_decode,
+    gamma_encode,
+)
+from .fixed import (
+    FixedWidthCodec,
+    pack_fixed,
+    packed_nbits,
+    read_field,
+    unpack_fixed,
+    unpack_slice,
+)
+from .registry import (
+    Codec,
+    Encoded,
+    available_codecs,
+    best_codec,
+    encoded_nbits,
+    get_codec,
+    register_codec,
+)
+from .varint import VarintCodec, varint_decode, varint_encode, varint_nbytes
+
+__all__ = [
+    "BitArray",
+    "BitReader",
+    "BitWriter",
+    "blit_bits",
+    "K2Tree",
+    "RankBitVector",
+    "WaveletTree",
+    "delta_decode_sorted",
+    "delta_encode_sorted",
+    "row_gaps",
+    "rows_from_gaps",
+    "EliasDeltaCodec",
+    "EliasGammaCodec",
+    "delta_decode",
+    "delta_encode",
+    "gamma_decode",
+    "gamma_encode",
+    "FixedWidthCodec",
+    "pack_fixed",
+    "packed_nbits",
+    "read_field",
+    "unpack_fixed",
+    "unpack_slice",
+    "Codec",
+    "Encoded",
+    "available_codecs",
+    "best_codec",
+    "encoded_nbits",
+    "get_codec",
+    "register_codec",
+    "VarintCodec",
+    "varint_decode",
+    "varint_encode",
+    "varint_nbytes",
+]

@@ -1,0 +1,183 @@
+"""Wavelet tree over an integer sequence ([26]; used by CAS/CET [21]).
+
+A wavelet tree answers ``rank(symbol, pos)`` — occurrences of a symbol
+in any prefix — in O(log σ) bit-vector ranks, which is how the CAS
+strategy turns the "scan the whole log" weakness of event-log temporal
+formats into logarithmic queries.
+
+Layout: one :class:`RankBitVector` per bit level, MSB first.  At each
+level the sequence is stably partitioned by the current bit (zeros
+left, ones right), so a symbol's position threads through the levels
+via rank0/rank1 — the textbook pointerless construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils import bits_for_count, require
+from .rank import RankBitVector
+
+__all__ = ["WaveletTree"]
+
+
+class WaveletTree:
+    """Immutable wavelet tree over ``uint`` symbols in ``range(sigma)``."""
+
+    __slots__ = ("length", "sigma", "bits_per_symbol", "_levels")
+
+    def __init__(self, sequence, sigma: int | None = None):
+        seq = np.asarray(sequence)
+        if seq.ndim != 1:
+            raise ValidationError("sequence must be 1-D")
+        if seq.size and not np.issubdtype(seq.dtype, np.integer):
+            raise ValidationError("sequence must be integers")
+        if seq.size and int(seq.min()) < 0:
+            raise ValidationError("symbols must be non-negative")
+        max_sym = int(seq.max()) if seq.size else 0
+        if sigma is None:
+            sigma = max_sym + 1
+        require(sigma >= 1, "alphabet size must be positive")
+        if seq.size and max_sym >= sigma:
+            raise ValidationError(f"symbol {max_sym} outside alphabet of {sigma}")
+        self.length = int(seq.shape[0])
+        self.sigma = int(sigma)
+        self.bits_per_symbol = bits_for_count(sigma)
+        current = seq.astype(np.uint64, copy=False)
+        levels: list[RankBitVector] = []
+        for depth in range(self.bits_per_symbol):
+            shift = np.uint64(self.bits_per_symbol - depth - 1)
+            bits = ((current >> shift) & np.uint64(1)).astype(np.uint8)
+            levels.append(RankBitVector.from_bits(bits))
+            # partition for the next level *within each node*: a stable
+            # sort by the full (depth+1)-bit prefix keeps nodes in
+            # left-to-right tree order while splitting each by this bit
+            order = np.argsort(current >> shift, kind="stable")
+            current = current[order]
+        self._levels = levels
+
+    # ------------------------------------------------------------------
+    def access(self, pos: int) -> int:
+        """The symbol at *pos* (reconstructed from the levels)."""
+        require(0 <= pos < self.length, f"position {pos} out of [0, {self.length})")
+        symbol = 0
+        lo, hi = 0, self.length
+        rel = pos  # index relative to the current node's start
+        for level in self._levels:
+            bit = level.get(lo + rel)
+            symbol = (symbol << 1) | bit
+            zeros_node = level.rank0(hi) - level.rank0(lo)
+            if bit == 0:
+                rel = level.rank0(lo + rel) - level.rank0(lo)
+                hi = lo + zeros_node
+            else:
+                rel = level.rank1(lo + rel) - level.rank1(lo)
+                lo = lo + zeros_node
+        return symbol
+
+    def rank(self, symbol: int, pos: int) -> int:
+        """Occurrences of *symbol* in ``sequence[0:pos]``."""
+        require(0 <= pos <= self.length, f"rank position {pos} out of [0, {self.length}]")
+        if symbol < 0 or symbol >= self.sigma:
+            raise ValidationError(f"symbol {symbol} outside alphabet of {self.sigma}")
+        lo, hi = 0, self.length
+        off = pos  # how many prefix elements fall inside the current node
+        for depth, level in enumerate(self._levels):
+            bit = (symbol >> (self.bits_per_symbol - depth - 1)) & 1
+            zeros_node = level.rank0(hi) - level.rank0(lo)
+            zeros_off = level.rank0(lo + off) - level.rank0(lo)
+            if bit == 0:
+                off = zeros_off
+                hi = lo + zeros_node
+            else:
+                off = off - zeros_off
+                lo = lo + zeros_node
+            if off == 0:
+                return 0
+        return off
+
+    def count_range(self, lo: int, hi: int, symbol: int) -> int:
+        """Occurrences of *symbol* in ``sequence[lo:hi]``."""
+        require(0 <= lo <= hi <= self.length, "invalid range")
+        return self.rank(symbol, hi) - self.rank(symbol, lo)
+
+    def distinct_in_range(
+        self,
+        lo: int,
+        hi: int,
+        *,
+        symbol_lo: int = 0,
+        symbol_hi: int | None = None,
+    ) -> list[tuple[int, int]]:
+        """(symbol, count) pairs occurring in ``sequence[lo:hi]``.
+
+        O(output · log σ) DFS over the tree — the primitive behind
+        ``neighbors_at`` on the CAS index.  ``symbol_lo``/``symbol_hi``
+        restrict output to symbols in ``[symbol_lo, symbol_hi)`` with
+        subtree pruning (the CET strategy's per-vertex key range).
+        """
+        require(0 <= lo <= hi <= self.length, "invalid range")
+        if symbol_hi is None:
+            symbol_hi = self.sigma
+        require(0 <= symbol_lo <= symbol_hi, "invalid symbol range")
+        out: list[tuple[int, int]] = []
+        if lo == hi or symbol_lo >= symbol_hi:
+            return out
+        # stack: (depth, node_lo, node_hi, range_lo, range_hi, prefix)
+        stack = [(0, 0, self.length, lo, hi, 0)]
+        while stack:
+            depth, nlo, nhi, rlo, rhi, prefix = stack.pop()
+            if rlo >= rhi:
+                continue
+            # prune subtrees entirely outside [symbol_lo, symbol_hi)
+            span = self.bits_per_symbol - depth
+            subtree_lo = prefix << span
+            subtree_hi = (prefix + 1) << span
+            if subtree_hi <= symbol_lo or subtree_lo >= symbol_hi:
+                continue
+            if depth == self.bits_per_symbol:
+                out.append((prefix, rhi - rlo))
+                continue
+            level = self._levels[depth]
+            zeros_node = level.rank0(nhi) - level.rank0(nlo)
+            zeros_rlo = level.rank0(rlo) - level.rank0(nlo)
+            zeros_rhi = level.rank0(rhi) - level.rank0(nlo)
+            ones_rlo = (rlo - nlo) - zeros_rlo
+            ones_rhi = (rhi - nlo) - zeros_rhi
+            # right child first so output pops in ascending symbol order
+            stack.append(
+                (
+                    depth + 1,
+                    nlo + zeros_node,
+                    nhi,
+                    nlo + zeros_node + ones_rlo,
+                    nlo + zeros_node + ones_rhi,
+                    (prefix << 1) | 1,
+                )
+            )
+            stack.append(
+                (
+                    depth + 1,
+                    nlo,
+                    nlo + zeros_node,
+                    nlo + zeros_rlo,
+                    nlo + zeros_rhi,
+                    prefix << 1,
+                )
+            )
+        out.sort()
+        return out
+
+    def memory_bytes(self) -> int:
+        """Resident bytes of this structure's payload."""
+        return sum(level.memory_bytes() for level in self._levels)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WaveletTree(length={self.length}, sigma={self.sigma}, "
+            f"levels={self.bits_per_symbol})"
+        )

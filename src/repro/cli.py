@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+* ``generate`` — write a synthetic edge list (rmat / er / ba / standin).
+* ``build`` — edge list file → bit-packed CSR ``.npz``, with the
+  parallel pipeline of Section III on a simulated p-processor machine.
+* ``info`` — inspect a packed CSR file.
+* ``query`` — neighbours / edge existence against a packed CSR file.
+* ``bench`` — regenerate Table II or Figures 6-7 from the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis.experiments import render_fig6, render_fig7, run_fig6, run_table2
+from .csr.io import edge_list_text_size, read_edge_list, write_edge_list
+from .csr.packed import BitPackedCSR, build_bitpacked_csr
+from .datasets import ba_edges, er_edges, rmat_edges, standin
+from .errors import ReproError
+from .parallel import SerialExecutor, SimulatedMachine
+from .utils import human_bytes
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel compression and querying of massive social networks "
+        "(IPPS 2023 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic edge list")
+    gen.add_argument("kind", choices=["rmat", "er", "ba", "ws", "standin"])
+    gen.add_argument("output", help="output text edge list path")
+    gen.add_argument("--nodes", type=int, default=1 << 14,
+                     help="node count (er/ba) or 2^scale is derived (rmat)")
+    gen.add_argument("--edges", type=int, default=100_000)
+    gen.add_argument("--name", default="pokec",
+                     help="paper graph name for 'standin'")
+    gen.add_argument("--scale", type=float, default=1 / 256,
+                     help="fraction of paper edges for 'standin'")
+    gen.add_argument("--seed", type=int, default=2023)
+
+    build = sub.add_parser("build", help="edge list -> bit-packed CSR (.npz)")
+    build.add_argument("input", help="text edge list (SNAP format)")
+    build.add_argument("output", help="output .npz path")
+    build.add_argument("-p", "--processors", type=int, default=1,
+                       help="simulated processor count (default 1)")
+    build.add_argument("--gap", action="store_true", help="gap-encode rows")
+    build.add_argument("--no-sort", action="store_true",
+                       help="input is already sorted by source")
+
+    info = sub.add_parser("info", help="inspect a packed CSR file")
+    info.add_argument("input", help=".npz produced by 'build'")
+
+    query = sub.add_parser("query", help="query a packed CSR file")
+    query.add_argument("input", help=".npz produced by 'build'")
+    qsub = query.add_subparsers(dest="query_kind", required=True)
+    qn = qsub.add_parser("neighbors", help="list a node's neighbours")
+    qn.add_argument("nodes", type=int, nargs="+")
+    qe = qsub.add_parser("edge", help="check edge existence")
+    qe.add_argument("u", type=int)
+    qe.add_argument("v", type=int)
+
+    bench = sub.add_parser("bench", help="regenerate a paper artifact")
+    bench.add_argument("artifact", choices=["table2", "fig6", "fig7"])
+    bench.add_argument("--scale", type=float, default=1 / 256)
+    bench.add_argument("--min-edges", type=int, default=100_000)
+
+    rep = sub.add_parser("report", help="write the full reproduction report")
+    rep.add_argument("output", help="markdown output path")
+    rep.add_argument("--scale", type=float, default=1 / 256)
+    rep.add_argument("--min-edges", type=int, default=100_000)
+    rep.add_argument("--seed", type=int, default=2023)
+
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    rng = np.random.default_rng(args.seed)
+    if args.kind == "rmat":
+        scale = max(1, int(np.ceil(np.log2(max(2, args.nodes)))))
+        src, dst, _ = rmat_edges(scale, args.edges, rng=rng)
+    elif args.kind == "er":
+        src, dst, _ = er_edges(args.nodes, args.edges, rng=rng)
+    elif args.kind == "ba":
+        per_node = max(1, args.edges // max(1, args.nodes - 1))
+        src, dst, _ = ba_edges(args.nodes, per_node, rng=rng)
+    elif args.kind == "ws":
+        from .datasets import ws_edges
+
+        per_node = max(1, args.edges // max(1, args.nodes))
+        src, dst, _ = ws_edges(args.nodes, min(per_node, args.nodes - 1), 0.1, rng=rng)
+    else:  # standin
+        ds = standin(args.name, scale=args.scale, seed=args.seed)
+        src, dst = ds.sources, ds.destinations
+    nbytes = write_edge_list(args.output, src, dst)
+    print(f"wrote {len(src):,} edges to {args.output} ({human_bytes(nbytes)})")
+    return 0
+
+
+def _cmd_build(args) -> int:
+    src, dst, n = read_edge_list(args.input)
+    machine = (
+        SimulatedMachine(args.processors) if args.processors > 1 else SerialExecutor()
+    )
+    packed = build_bitpacked_csr(
+        src, dst, n, machine, sort=not args.no_sort, gap_encode=args.gap
+    )
+    packed.save(args.output)
+    print(f"input : {len(src):,} edges, {n:,} nodes "
+          f"({human_bytes(edge_list_text_size(src, dst))} as text)")
+    print(f"output: {packed}")
+    if isinstance(machine, SimulatedMachine):
+        print(f"build : {machine.elapsed_ms():.3f} simulated ms on p={args.processors}")
+    return 0
+
+
+def _load(path) -> BitPackedCSR:
+    return BitPackedCSR.load(path)
+
+
+def _cmd_info(args) -> int:
+    packed = _load(args.input)
+    print(packed)
+    print(f"  nodes          : {packed.num_nodes:,}")
+    print(f"  edges          : {packed.num_edges:,}")
+    print(f"  offset width   : {packed.offset_width} bits")
+    print(f"  column width   : {packed.column_width} bits")
+    print(f"  gap encoded    : {packed.gap_encoded}")
+    print(f"  weighted       : {packed.is_weighted}")
+    print(f"  payload        : {human_bytes(packed.memory_bytes())}")
+    print(f"  bits per edge  : {packed.bits_per_edge():.2f}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    packed = _load(args.input)
+    if args.query_kind == "neighbors":
+        for u in args.nodes:
+            row = packed.neighbors(u)
+            print(f"{u}: degree {row.shape[0]}: {row.tolist()}")
+    else:
+        present = packed.has_edge(args.u, args.v)
+        print(f"edge ({args.u}, {args.v}): {'present' if present else 'absent'}")
+        return 0 if present else 3
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    if args.artifact == "table2":
+        result = run_table2(scale=args.scale, min_edges=args.min_edges)
+        print(result.render())
+        print()
+        print(result.render_projection())
+    else:
+        curves = run_fig6(scale=args.scale, min_edges=args.min_edges)
+        print(render_fig6(curves) if args.artifact == "fig6" else render_fig7(curves))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .analysis.report import write_report
+
+    path = write_report(
+        args.output, scale=args.scale, min_edges=args.min_edges, seed=args.seed
+    )
+    print(f"wrote reproduction report to {path}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "build": _cmd_build,
+    "info": _cmd_info,
+    "query": _cmd_query,
+    "bench": _cmd_bench,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,173 @@
+"""Edge-list and CSR persistence, plus exact size accounting.
+
+Readers accept the SNAP text format the paper's datasets ship in
+(whitespace-separated ``u v`` pairs, ``#`` comment lines).  The size
+helpers compute the byte footprint of each representation *without*
+writing it, which is how the benches fill Table II's "EdgeList Size"
+column at paper scale.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils import digits10
+from .graph import CSRGraph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_edge_list_binary",
+    "write_edge_list_binary",
+    "edge_list_text_size",
+    "save_csr",
+    "load_csr",
+]
+
+_BINARY_MAGIC = b"REPROEL1"
+
+
+def read_edge_list(path, *, comments: str = "#") -> tuple[np.ndarray, np.ndarray, int]:
+    """Read a SNAP-style text edge list.
+
+    Returns ``(sources, destinations, n)`` where ``n`` is one more than
+    the largest id seen (ids are assumed 0-based).  Raises on malformed
+    lines rather than skipping them silently.  ``.gz`` paths are
+    decompressed transparently (SNAP distributes its datasets gzipped).
+    """
+    path = Path(path)
+    tokens: list[int] = []
+    opener = (
+        (lambda: gzip.open(path, "rt", encoding="utf-8"))
+        if path.suffix == ".gz"
+        else (lambda: path.open("r", encoding="utf-8"))
+    )
+    with opener() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(comments):
+                continue
+            parts = stripped.split()
+            if len(parts) != 2:
+                raise ValidationError(
+                    f"{path}:{lineno}: expected 'u v', got {stripped!r}"
+                )
+            try:
+                tokens.append(int(parts[0]))
+                tokens.append(int(parts[1]))
+            except ValueError as exc:
+                raise ValidationError(f"{path}:{lineno}: non-integer id") from exc
+    if not tokens:
+        return (
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            0,
+        )
+    arr = np.asarray(tokens, dtype=np.int64)
+    if int(arr.min()) < 0:
+        raise ValidationError(f"{path}: negative node id")
+    src = arr[0::2].copy()
+    dst = arr[1::2].copy()
+    return src, dst, int(arr.max()) + 1
+
+
+def write_edge_list(path, sources, destinations) -> int:
+    """Write a text edge list (gzipped when *path* ends in ``.gz``);
+    returns payload bytes (uncompressed size)."""
+    src = np.asarray(sources)
+    dst = np.asarray(destinations)
+    if src.shape != dst.shape:
+        raise ValidationError("edge arrays must match in length")
+    buf = io.StringIO()
+    for u, v in zip(src.tolist(), dst.tolist()):
+        buf.write(f"{u}\t{v}\n")
+    data = buf.getvalue().encode("utf-8")
+    path = Path(path)
+    if path.suffix == ".gz":
+        with gzip.open(path, "wb") as fh:
+            fh.write(data)
+    else:
+        path.write_bytes(data)
+    return len(data)
+
+
+def edge_list_text_size(sources, destinations) -> int:
+    """Exact bytes of the text edge list without materialising it.
+
+    Layout per edge: ``digits(u) + 1 (tab) + digits(v) + 1 (newline)``,
+    matching :func:`write_edge_list` byte for byte.
+    """
+    src = np.asarray(sources)
+    dst = np.asarray(destinations)
+    if src.shape != dst.shape:
+        raise ValidationError("edge arrays must match in length")
+    if src.size == 0:
+        return 0
+    return int(digits10(src).sum() + digits10(dst).sum() + 2 * src.shape[0])
+
+
+def write_edge_list_binary(path, sources, destinations) -> int:
+    """Write a compact binary edge list; returns bytes written.
+
+    Format: magic, little-endian uint64 edge count, then the two arrays
+    as uint32 (or uint64 when ids exceed 32 bits).
+    """
+    src = np.asarray(sources)
+    dst = np.asarray(destinations)
+    if src.shape != dst.shape:
+        raise ValidationError("edge arrays must match in length")
+    max_id = int(max(src.max(initial=0), dst.max(initial=0))) if src.size else 0
+    dtype = np.uint32 if max_id <= np.iinfo(np.uint32).max else np.uint64
+    itemsize = np.dtype(dtype).itemsize
+    with open(path, "wb") as fh:
+        fh.write(_BINARY_MAGIC)
+        fh.write(np.uint64(src.shape[0]).tobytes())
+        fh.write(np.uint8(itemsize).tobytes())
+        fh.write(src.astype(dtype).tobytes())
+        fh.write(dst.astype(dtype).tobytes())
+    return os.path.getsize(path)
+
+
+def read_edge_list_binary(path) -> tuple[np.ndarray, np.ndarray, int]:
+    """Read the binary format of :func:`write_edge_list_binary`."""
+    with open(path, "rb") as fh:
+        magic = fh.read(len(_BINARY_MAGIC))
+        if magic != _BINARY_MAGIC:
+            raise ValidationError(f"{path}: not a repro binary edge list")
+        count = int(np.frombuffer(fh.read(8), dtype=np.uint64)[0])
+        itemsize = int(np.frombuffer(fh.read(1), dtype=np.uint8)[0])
+        dtype = {4: np.uint32, 8: np.uint64}.get(itemsize)
+        if dtype is None:
+            raise ValidationError(f"{path}: unsupported item size {itemsize}")
+        payload = fh.read()
+    expected = 2 * count * itemsize
+    if len(payload) != expected:
+        raise ValidationError(
+            f"{path}: truncated payload ({len(payload)} bytes, expected {expected})"
+        )
+    arr = np.frombuffer(payload, dtype=dtype)
+    src = arr[:count].astype(np.int64)
+    dst = arr[count:].astype(np.int64)
+    n = int(max(src.max(initial=-1), dst.max(initial=-1))) + 1
+    return src, dst, max(n, 0)
+
+
+def save_csr(path, graph: CSRGraph) -> None:
+    """Persist a :class:`CSRGraph` as ``.npz``."""
+    payload = {"indptr": graph.indptr, "indices": graph.indices}
+    if graph.values is not None:
+        payload["values"] = graph.values
+    np.savez_compressed(path, **payload)
+
+
+def load_csr(path) -> CSRGraph:
+    """Load a :class:`CSRGraph` saved by :func:`save_csr`."""
+    with np.load(path) as data:
+        values = data["values"] if "values" in data.files else None
+        return CSRGraph(data["indptr"], data["indices"], values)

@@ -1,0 +1,375 @@
+"""Algorithm 4 — the bit-packed CSR ("Build bitPacked CSR").
+
+Both CSR arrays are packed into fixed-width bit arrays: the offset
+array ``iA`` at ``bits_for_value(m)`` bits per field and the column
+array ``jA`` at ``bits_for_count(n)`` bits per field (optionally after
+a per-row gap transform for extra compression).  Packing is chunked
+across the executor's processors; the packed chunks are then merged by
+a **serial** pass — the paper's "finalBitArray = merge all bitArrays
+from global location" — which is the dominant sequential fraction of
+the whole pipeline and the source of its speed-up saturation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bitpack.bitarray import BitArray, blit_bits
+from ..bitpack.delta import row_gaps
+from ..bitpack.fixed import pack_fixed, read_field, unpack_fixed
+from ..errors import QueryError, ValidationError
+from ..parallel.chunking import chunk_bounds
+from ..parallel.cost import Cost
+from ..parallel.machine import Executor, SerialExecutor, TaskContext
+from ..utils import bits_for_count, bits_for_value, human_bytes, require
+from .getrow import get_row_from_csr, get_row_gap_decoded
+from .graph import CSRGraph
+
+__all__ = ["BitPackedCSR", "pack_array_parallel", "build_bitpacked_csr"]
+
+
+def pack_array_parallel(
+    values: np.ndarray,
+    width: int,
+    executor: Executor | None = None,
+    *,
+    label: str = "bitpack",
+) -> BitArray:
+    """Pack *values* into *width*-bit fields via chunked parallel packing.
+
+    Per Algorithm 4: each processor packs its chunk; a serial merge
+    blits the packed chunks into the final bit array.  Results are
+    identical to a one-shot :func:`pack_fixed`.
+    """
+    executor = executor or SerialExecutor()
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValidationError("pack input must be 1-D")
+    n = arr.shape[0]
+    bounds = chunk_bounds(n, executor.p)
+
+    def pack_chunk(ctx: TaskContext, cid: int):
+        s, e = int(bounds[cid]), int(bounds[cid + 1])
+        if e <= s:
+            return None
+        chunk_bits = pack_fixed(arr[s:e], width)
+        ctx.charge(Cost(reads=e - s, bit_ops=(e - s) * width))
+        return chunk_bits
+
+    chunks = executor.parallel(
+        [_bind(pack_chunk, cid) for cid in range(executor.p)], label=f"{label}:pack"
+    )
+
+    def merge(ctx: TaskContext):
+        out = BitArray.zeros(n * width)
+        for cid, chunk_bits in enumerate(chunks):
+            if chunk_bits is None:
+                continue
+            blit_bits(out, int(bounds[cid]) * width, chunk_bits)
+        # serial streaming copy of the full packed payload — the
+        # Amdahl term of the whole pipeline.
+        ctx.charge(Cost(copy_bytes=2 * out.nbytes))
+        return out
+
+    return executor.serial(merge, label=f"{label}:merge")
+
+
+class BitPackedCSR:
+    """A CSR whose offset and column arrays live in packed bit arrays.
+
+    Queryable without decompression: :meth:`neighbors` decodes exactly
+    one row (``GetRowFromCSR`` [28]); :meth:`has_edge` decodes one row
+    and binary-searches it.
+    """
+
+    __slots__ = (
+        "num_nodes",
+        "num_edges",
+        "offsets",
+        "offset_width",
+        "columns",
+        "column_width",
+        "gap_encoded",
+        "values",
+        "values_width",
+    )
+
+    def __init__(
+        self,
+        num_nodes: int,
+        num_edges: int,
+        offsets: BitArray,
+        offset_width: int,
+        columns: BitArray,
+        column_width: int,
+        *,
+        gap_encoded: bool = False,
+        values: BitArray | None = None,
+        values_width: int = 0,
+    ):
+        require(num_nodes >= 0 and num_edges >= 0, "sizes must be non-negative")
+        require(
+            offsets.nbits == (num_nodes + 1) * offset_width,
+            "offset bit array size mismatch",
+        )
+        require(
+            columns.nbits == num_edges * column_width,
+            "column bit array size mismatch",
+        )
+        if values is not None:
+            require(values_width >= 1, "weighted CSR needs a positive values width")
+            require(
+                values.nbits == num_edges * values_width,
+                "value bit array size mismatch",
+            )
+        self.num_nodes = int(num_nodes)
+        self.num_edges = int(num_edges)
+        self.offsets = offsets
+        self.offset_width = int(offset_width)
+        self.columns = columns
+        self.column_width = int(column_width)
+        self.gap_encoded = bool(gap_encoded)
+        self.values = values
+        self.values_width = int(values_width)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_csr(
+        cls,
+        graph: CSRGraph,
+        executor: Executor | None = None,
+        *,
+        gap_encode: bool = False,
+    ) -> "BitPackedCSR":
+        """Algorithm 4: bit-pack ``iA``, ``jA``, and (if present) ``vA``.
+
+        Weighted graphs must carry non-negative integer weights — the
+        fixed-width codec of [7] packs exact integers; quantise floats
+        before packing.
+        """
+        executor = executor or SerialExecutor()
+        n, m = graph.num_nodes, graph.num_edges
+        offset_width = bits_for_value(m)
+        offsets = pack_array_parallel(
+            graph.indptr, offset_width, executor, label="bitpack:iA"
+        )
+        if gap_encode:
+            payload = row_gaps(graph.indptr, graph.indices)
+            column_width = bits_for_value(int(payload.max())) if m else 1
+        else:
+            payload = graph.indices
+            column_width = bits_for_count(n)
+        columns = pack_array_parallel(
+            payload, column_width, executor, label="bitpack:jA"
+        )
+        values = None
+        values_width = 0
+        if graph.values is not None:
+            weights = np.asarray(graph.values)
+            if not np.issubdtype(weights.dtype, np.integer):
+                raise ValidationError(
+                    "bit packing needs integer weights (quantise floats first)"
+                )
+            if weights.size and int(weights.min()) < 0:
+                raise ValidationError("bit packing needs non-negative weights")
+            values_width = bits_for_value(int(weights.max())) if m else 1
+            values = pack_array_parallel(
+                weights, values_width, executor, label="bitpack:vA"
+            )
+        return cls(
+            n,
+            m,
+            offsets,
+            offset_width,
+            columns,
+            column_width,
+            gap_encoded=gap_encode,
+            values=values,
+            values_width=values_width,
+        )
+
+    # ------------------------------------------------------------------
+    def offset(self, u: int) -> int:
+        """Decoded ``iA[u]`` (valid for ``0 <= u <= n``)."""
+        if not (0 <= u <= self.num_nodes):
+            raise QueryError(f"offset index {u} out of range [0, {self.num_nodes}]")
+        return read_field(self.offsets, self.offset_width, u)
+
+    def degree(self, u: int) -> int:
+        """Out-degree of *u*."""
+        self._check_node(u)
+        return self.offset(u + 1) - self.offset(u)
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every node as an ``int64`` array."""
+        offs = unpack_fixed(self.offsets, self.num_nodes + 1, self.offset_width)
+        return np.diff(offs).astype(np.int64)
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Decode node *u*'s row (sorted ids, ``uint64``)."""
+        self._check_node(u)
+        start = self.offset(u)
+        deg = self.offset(u + 1) - start
+        if self.gap_encoded:
+            return get_row_gap_decoded(self.columns, start, deg, self.column_width)
+        return get_row_from_csr(self.columns, start, deg, self.column_width)
+
+    @property
+    def is_weighted(self) -> bool:
+        return self.values is not None
+
+    def neighbor_weights(self, u: int) -> np.ndarray:
+        """Decoded ``vA`` fields of node *u*'s row."""
+        if self.values is None:
+            raise QueryError("graph is unweighted")
+        self._check_node(u)
+        start = self.offset(u)
+        deg = self.offset(u + 1) - start
+        return get_row_from_csr(self.values, start, deg, self.values_width)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Decode *u*'s row, then binary search (the §V-B extension)."""
+        self._check_node(u)
+        self._check_node(v)
+        row = self.neighbors(u)
+        pos = int(np.searchsorted(row, v))
+        return pos < row.shape[0] and int(row[pos]) == v
+
+    def _check_node(self, u: int) -> None:
+        if not (0 <= u < self.num_nodes):
+            raise QueryError(f"node {u} out of range [0, {self.num_nodes})")
+
+    # ------------------------------------------------------------------
+    def to_csr(self) -> CSRGraph:
+        """Full decompression back to an uncompressed :class:`CSRGraph`."""
+        indptr = unpack_fixed(
+            self.offsets, self.num_nodes + 1, self.offset_width
+        ).astype(np.int64)
+        payload = unpack_fixed(self.columns, self.num_edges, self.column_width)
+        if self.gap_encoded:
+            from ..bitpack.delta import rows_from_gaps
+
+            payload = rows_from_gaps(indptr, payload)
+        values = None
+        if self.values is not None:
+            values = unpack_fixed(
+                self.values, self.num_edges, self.values_width
+            ).astype(np.int64)
+        return CSRGraph(indptr, payload.astype(np.int64), values, validate=False)
+
+    def memory_bytes(self) -> int:
+        """Packed payload bytes (all bit arrays)."""
+        total = self.offsets.nbytes + self.columns.nbytes
+        if self.values is not None:
+            total += self.values.nbytes
+        return total
+
+    def bits_per_edge(self) -> float:
+        """Compressed bits spent per stored edge."""
+        if self.num_edges == 0:
+            return 0.0
+        bits = self.offsets.nbits + self.columns.nbits
+        if self.values is not None:
+            bits += self.values.nbits
+        return bits / self.num_edges
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, BitPackedCSR):
+            return NotImplemented
+        if (self.values is None) != (other.values is None):
+            return False
+        if self.values is not None and (
+            self.values != other.values or self.values_width != other.values_width
+        ):
+            return False
+        return (
+            self.num_nodes == other.num_nodes
+            and self.num_edges == other.num_edges
+            and self.offset_width == other.offset_width
+            and self.column_width == other.column_width
+            and self.gap_encoded == other.gap_encoded
+            and self.offsets == other.offsets
+            and self.columns == other.columns
+        )
+
+    def __hash__(self):  # pragma: no cover
+        return None  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        return (
+            f"BitPackedCSR(n={self.num_nodes}, m={self.num_edges}, "
+            f"iA@{self.offset_width}b, jA@{self.column_width}b, "
+            f"gap={self.gap_encoded}, mem={human_bytes(self.memory_bytes())})"
+        )
+
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist to an ``.npz`` file."""
+        payload = dict(
+            num_nodes=self.num_nodes,
+            num_edges=self.num_edges,
+            offset_width=self.offset_width,
+            column_width=self.column_width,
+            gap_encoded=int(self.gap_encoded),
+            offsets=self.offsets.buffer,
+            offsets_nbits=self.offsets.nbits,
+            columns=self.columns.buffer,
+            columns_nbits=self.columns.nbits,
+        )
+        if self.values is not None:
+            payload.update(
+                values=self.values.buffer,
+                values_nbits=self.values.nbits,
+                values_width=self.values_width,
+            )
+        np.savez_compressed(path, **payload)
+
+    @classmethod
+    def load(cls, path) -> "BitPackedCSR":
+        with np.load(path) as data:
+            values = None
+            values_width = 0
+            if "values" in data.files:
+                values = BitArray(data["values"], int(data["values_nbits"]))
+                values_width = int(data["values_width"])
+            return cls(
+                int(data["num_nodes"]),
+                int(data["num_edges"]),
+                BitArray(data["offsets"], int(data["offsets_nbits"])),
+                int(data["offset_width"]),
+                BitArray(data["columns"], int(data["columns_nbits"])),
+                int(data["column_width"]),
+                gap_encoded=bool(int(data["gap_encoded"])),
+                values=values,
+                values_width=values_width,
+            )
+
+
+def build_bitpacked_csr(
+    sources,
+    destinations,
+    n: int,
+    executor: Executor | None = None,
+    *,
+    weights=None,
+    sort: bool = False,
+    gap_encode: bool = False,
+) -> BitPackedCSR:
+    """End-to-end pipeline of Section III: edge list → packed CSR.
+
+    Runs parallel CSR construction (Algorithms 1-3) followed by
+    Algorithm 4's chunked bit packing, all charged to *executor* — this
+    is the operation Table II times.
+    """
+    from .builder import build_csr
+
+    executor = executor or SerialExecutor()
+    graph = build_csr(sources, destinations, n, executor, weights=weights, sort=sort)
+    return BitPackedCSR.from_csr(graph, executor, gap_encode=gap_encode)
+
+
+def _bind(fn, cid: int):
+    def task(ctx: TaskContext):
+        return fn(ctx, cid)
+
+    return task

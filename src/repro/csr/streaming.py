@@ -1,0 +1,157 @@
+"""Streaming CSR construction — the authors' prior line of work [3], [4].
+
+Social-network edges arrive as a stream; waiting for the full edge
+list before building (Section III's batch pipeline) is not always an
+option.  :class:`StreamingCSRBuilder` is a log-structured merge
+builder: appended edges accumulate in an unsorted buffer; when the
+buffer fills it is sorted into a *run*; same-sized runs merge pairwise
+(each edge is touched O(log(m / buffer)) times overall); ``finish()``
+merges everything into a standard :class:`CSRGraph` and can hand the
+result straight to Algorithm 4's packer.
+
+Snapshots (:meth:`snapshot`) are queryable mid-stream without
+disturbing the builder, which is the "queryable compression on
+streaming social networks" capability of [3].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..parallel.machine import Executor
+from ..temporal.events import encode_keys
+from ..utils import require
+from .graph import CSRGraph
+
+__all__ = ["StreamingCSRBuilder"]
+
+
+class StreamingCSRBuilder:
+    """Incremental edge-list accumulator with O(log) amortised sorting."""
+
+    __slots__ = ("num_nodes", "buffer_size", "_buf_u", "_buf_v", "_fill", "_runs", "_m")
+
+    def __init__(self, num_nodes: int, *, buffer_size: int = 4096):
+        require(num_nodes >= 0, "num_nodes must be non-negative")
+        require(num_nodes < 2**32, "streaming keys need node ids < 2**32")
+        require(buffer_size >= 1, "buffer_size must be positive")
+        self.num_nodes = int(num_nodes)
+        self.buffer_size = int(buffer_size)
+        self._buf_u = np.empty(buffer_size, dtype=np.int64)
+        self._buf_v = np.empty(buffer_size, dtype=np.int64)
+        self._fill = 0
+        self._runs: list[np.ndarray] = []  # sorted uint64 key arrays
+        self._m = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return self._m
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Append one edge (duplicates kept, matching the batch builder)."""
+        if not (0 <= u < self.num_nodes and 0 <= v < self.num_nodes):
+            raise ValidationError(
+                f"edge ({u}, {v}) out of range for n={self.num_nodes}"
+            )
+        self._buf_u[self._fill] = u
+        self._buf_v[self._fill] = v
+        self._fill += 1
+        self._m += 1
+        if self._fill == self.buffer_size:
+            self._flush()
+
+    def add_edges(self, sources, destinations) -> None:
+        """Append a batch (vectorised validation, then chunked appends)."""
+        src = np.asarray(sources, dtype=np.int64)
+        dst = np.asarray(destinations, dtype=np.int64)
+        if src.shape != dst.shape or src.ndim != 1:
+            raise ValidationError("edge arrays must be 1-D and equal length")
+        if src.size and (
+            int(src.min()) < 0
+            or int(dst.min()) < 0
+            or int(src.max()) >= self.num_nodes
+            or int(dst.max()) >= self.num_nodes
+        ):
+            raise ValidationError(f"edge ids out of range for n={self.num_nodes}")
+        pos = 0
+        total = src.shape[0]
+        while pos < total:
+            take = min(self.buffer_size - self._fill, total - pos)
+            self._buf_u[self._fill : self._fill + take] = src[pos : pos + take]
+            self._buf_v[self._fill : self._fill + take] = dst[pos : pos + take]
+            self._fill += take
+            pos += take
+            self._m += take
+            if self._fill == self.buffer_size:
+                self._flush()
+
+    # ------------------------------------------------------------------
+    def _flush(self) -> None:
+        """Sort the buffer into a run; merge equal-sized runs pairwise."""
+        if self._fill == 0:
+            return
+        keys = encode_keys(self._buf_u[: self._fill], self._buf_v[: self._fill])
+        run = np.sort(keys)
+        self._fill = 0
+        self._runs.append(run)
+        # log-structured merging: collapse while the two newest runs are
+        # within 2x of each other in size
+        while (
+            len(self._runs) >= 2
+            and self._runs[-2].shape[0] <= 2 * self._runs[-1].shape[0]
+        ):
+            b = self._runs.pop()
+            a = self._runs.pop()
+            merged = np.empty(a.shape[0] + b.shape[0], dtype=np.uint64)
+            merged[: a.shape[0]] = a
+            merged[a.shape[0] :] = b
+            merged.sort(kind="mergesort")
+            self._runs.append(merged)
+
+    def run_sizes(self) -> list[int]:
+        """Current sorted-run sizes (introspection/testing)."""
+        return [int(r.shape[0]) for r in self._runs]
+
+    def _all_keys(self) -> np.ndarray:
+        self._flush()
+        if not self._runs:
+            return np.zeros(0, dtype=np.uint64)
+        if len(self._runs) == 1:
+            return self._runs[0]
+        merged = np.sort(np.concatenate(self._runs), kind="mergesort")
+        self._runs = [merged]
+        return merged
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> CSRGraph:
+        """A queryable CSR of everything streamed so far.
+
+        Does not reset the builder; subsequent appends keep working.
+        """
+        keys = self._all_keys()
+        src = (keys >> np.uint64(32)).astype(np.int64)
+        dst = (keys & np.uint64(0xFFFFFFFF)).astype(np.int64)
+        indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=self.num_nodes), out=indptr[1:])
+        return CSRGraph(indptr, dst, validate=False)
+
+    def finish(self, executor: Executor | None = None, *, pack: bool = False):
+        """Final CSR (or bit-packed CSR with ``pack=True``).
+
+        The packer runs Algorithm 4 on *executor*, so a stream can end
+        directly in the paper's compressed form.
+        """
+        graph = self.snapshot()
+        if not pack:
+            return graph
+        from .packed import BitPackedCSR
+
+        return BitPackedCSR.from_csr(graph, executor)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamingCSRBuilder(n={self.num_nodes}, m={self._m}, "
+            f"runs={len(self._runs)}, buffered={self._fill})"
+        )

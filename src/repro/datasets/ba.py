@@ -1,0 +1,57 @@
+"""Preferential-attachment (Barabási-Albert-style) generator.
+
+Uses the repeated-endpoints trick: attaching to a uniformly sampled
+endpoint of an *existing* edge is equivalent to degree-proportional
+sampling, so the whole graph grows in O(m) with plain arrays — no
+per-step probability recomputation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils import require
+
+__all__ = ["ba_edges"]
+
+
+def ba_edges(
+    n: int,
+    edges_per_node: int,
+    *,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Grow a preferential-attachment graph.
+
+    Node ``i`` (for ``i >= edges_per_node``) attaches to
+    ``edges_per_node`` targets sampled degree-proportionally from the
+    existing graph.  Returns an unsorted ``(sources, destinations, n)``
+    edge list with ``sources[i] > destinations[i]`` never guaranteed —
+    it is a directed "who joined whom" stream like a social-network
+    follow log.
+    """
+    require(n >= 1, "n must be positive")
+    require(edges_per_node >= 1, "edges_per_node must be positive")
+    require(n > edges_per_node, "n must exceed edges_per_node")
+    rng = rng or np.random.default_rng()
+
+    k = edges_per_node
+    m_total = (n - k) * k
+    src = np.empty(m_total, dtype=np.int64)
+    dst = np.empty(m_total, dtype=np.int64)
+    # endpoint pool: every slot is one edge endpoint; sampling a slot
+    # uniformly == degree-proportional node sampling.
+    pool = np.empty(2 * m_total + k, dtype=np.int64)
+    pool[:k] = np.arange(k)  # seed clique endpoints
+    pool_len = k
+    pos = 0
+    for node in range(k, n):
+        draws = rng.integers(0, pool_len, k)
+        targets = pool[draws]
+        src[pos : pos + k] = node
+        dst[pos : pos + k] = targets
+        pool[pool_len : pool_len + k] = node
+        pool[pool_len + k : pool_len + 2 * k] = targets
+        pool_len += 2 * k
+        pos += k
+    return src, dst, n

@@ -1,0 +1,32 @@
+"""Erdős-Rényi G(n, m) generator — the no-skew control workload."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils import require
+
+__all__ = ["er_edges"]
+
+
+def er_edges(
+    n: int,
+    num_edges: int,
+    *,
+    rng: np.random.Generator | None = None,
+    self_loops: bool = True,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Draw *num_edges* uniform (u, v) pairs over *n* nodes.
+
+    Duplicates are possible (multigraph), matching the raw edge-list
+    semantics of the other generators.
+    """
+    require(n >= 1, "n must be positive")
+    require(num_edges >= 0, "num_edges must be non-negative")
+    rng = rng or np.random.default_rng()
+    src = rng.integers(0, n, num_edges, dtype=np.int64)
+    dst = rng.integers(0, n, num_edges, dtype=np.int64)
+    if not self_loops:
+        mask = src != dst
+        src, dst = src[mask], dst[mask]
+    return src, dst, n

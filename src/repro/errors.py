@@ -1,0 +1,53 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch one base class.  Input-validation failures raise
+:class:`ValidationError` (a ``ValueError`` subclass) so that generic
+``ValueError`` handling also works.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "NotSortedError",
+    "CodecError",
+    "FieldOverflowError",
+    "QueryError",
+    "FrameError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input failed validation (shape, dtype, range, or structure)."""
+
+
+class NotSortedError(ValidationError):
+    """An operation requiring sorted input received unsorted data.
+
+    The paper's construction algorithms (Sections III and IV) assume the
+    edge list is sorted by source node (and, for time-evolving graphs,
+    by time-frame first).  Builders raise this instead of silently
+    producing a corrupt CSR.
+    """
+
+
+class CodecError(ReproError):
+    """A bit-packing codec failed to encode or decode a payload."""
+
+
+class FieldOverflowError(CodecError, OverflowError):
+    """A value does not fit in the requested fixed bit width."""
+
+
+class QueryError(ReproError, ValueError):
+    """A query referenced a node, edge, or time outside the graph."""
+
+
+class FrameError(ReproError, ValueError):
+    """A temporal operation referenced an invalid time-frame."""

@@ -1,0 +1,66 @@
+"""Parallel execution substrate: executors, chunking, scan, reductions.
+
+The paper's machine is a 32-core shared-memory box; ours is whatever
+executes the :class:`Executor` interface — a serial inliner, a thread
+pool, or the :class:`SimulatedMachine` whose clock reproduces the
+processor sweeps of Section VI.  See DESIGN.md §1 and §4.
+"""
+
+from .chunking import (
+    Chunk,
+    aligned_chunks,
+    balance_ratio,
+    chunk_bounds,
+    chunk_of_index,
+    edge_balanced_row_bounds,
+    even_chunks,
+    split_array,
+)
+from .cost import Cost, CostAccumulator, CostModel, DEFAULT_COST_MODEL
+from .machine import (
+    Executor,
+    PhaseRecord,
+    SerialExecutor,
+    SimulatedMachine,
+    TaskContext,
+    ThreadExecutor,
+)
+from .reduce import chunked_any, chunked_max, chunked_reduce, chunked_sum
+from .sort import parallel_argsort, parallel_sort
+from .scan import (
+    exclusive_from_inclusive,
+    exclusive_scan_parallel,
+    prefix_sum_parallel,
+    prefix_sum_serial,
+)
+
+__all__ = [
+    "Chunk",
+    "aligned_chunks",
+    "balance_ratio",
+    "chunk_bounds",
+    "chunk_of_index",
+    "edge_balanced_row_bounds",
+    "even_chunks",
+    "split_array",
+    "Cost",
+    "CostAccumulator",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "Executor",
+    "PhaseRecord",
+    "SerialExecutor",
+    "SimulatedMachine",
+    "TaskContext",
+    "ThreadExecutor",
+    "chunked_any",
+    "chunked_max",
+    "chunked_reduce",
+    "chunked_sum",
+    "exclusive_from_inclusive",
+    "exclusive_scan_parallel",
+    "prefix_sum_parallel",
+    "prefix_sum_serial",
+    "parallel_argsort",
+    "parallel_sort",
+]

@@ -1,0 +1,11 @@
+"""PCSR: the dynamic (Packed Memory Array) CSR of [9], [13].
+
+The related-work alternative the paper measures itself against in
+spirit — static CSR rebuilds vs. amortised in-place updates.  See
+``benchmarks/bench_dynamic.py`` for the quantified trade-off.
+"""
+
+from .graph import PCSRGraph
+from .pma import PackedMemoryArray
+
+__all__ = ["PCSRGraph", "PackedMemoryArray"]

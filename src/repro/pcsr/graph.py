@@ -1,0 +1,146 @@
+"""PCSR — a dynamic CSR over a Packed Memory Array [9], [13].
+
+Edges live as ``u << 32 | v`` keys inside one PMA, so a node's row is
+the key range ``[u << 32, (u + 1) << 32)``: physically sorted and
+contiguous-with-gaps, scanned directly off the structure.  Updates are
+amortised O(log²) instead of the static CSR's full rebuild, which is
+the trade-off the paper declined ("we do not take the packed CSR
+route") and :mod:`benchmarks.bench_dynamic` measures.
+
+Satisfies the :class:`repro.query.GraphStore` protocol, so the
+Section V query engine runs on it unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..csr.graph import CSRGraph
+from ..errors import QueryError
+from ..temporal.events import encode_keys
+from ..utils import human_bytes, require
+from .pma import PackedMemoryArray
+
+__all__ = ["PCSRGraph"]
+
+_SHIFT = np.uint64(32)
+_VMASK = np.uint64(0xFFFFFFFF)
+
+
+class PCSRGraph:
+    """Dynamic directed graph: PMA of edge keys, simple-graph semantics."""
+
+    __slots__ = ("num_nodes", "_pma")
+
+    def __init__(self, num_nodes: int, capacity: int = 16):
+        require(num_nodes >= 0, "num_nodes must be non-negative")
+        require(num_nodes < 2**32, "PCSR keys need node ids < 2**32")
+        self.num_nodes = int(num_nodes)
+        self._pma = PackedMemoryArray(capacity)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, sources, destinations, num_nodes: int) -> "PCSRGraph":
+        graph = cls(num_nodes, capacity=max(16, 2 * len(np.asarray(sources))))
+        for u, v in zip(np.asarray(sources).tolist(), np.asarray(destinations).tolist()):
+            graph.add_edge(int(u), int(v))
+        return graph
+
+    @classmethod
+    def from_csr(cls, csr: CSRGraph) -> "PCSRGraph":
+        src, dst = csr.edges()
+        return cls.from_edges(src, dst, csr.num_nodes)
+
+    # ------------------------------------------------------------------
+    def _check_node(self, u: int) -> None:
+        if not (0 <= u < self.num_nodes):
+            raise QueryError(f"node {u} out of range [0, {self.num_nodes})")
+
+    def _key(self, u: int, v: int) -> np.uint64:
+        self._check_node(u)
+        self._check_node(v)
+        return (np.uint64(u) << _SHIFT) | np.uint64(v)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._pma)
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Insert (u, v); False when already present (simple graph)."""
+        return self._pma.insert(self._key(u, v))
+
+    def delete_edge(self, u: int, v: int) -> bool:
+        """Remove (u, v); False when absent."""
+        return self._pma.delete(self._key(u, v))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True when the edge (u, v) exists."""
+        return self._key(u, v) in self._pma
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Sorted destinations of *u* — one PMA range scan."""
+        self._check_node(u)
+        lo = np.uint64(u) << _SHIFT
+        hi = np.uint64(u + 1) << _SHIFT
+        return (self._pma.range_scan(lo, hi) & _VMASK).astype(np.int64)
+
+    def degree(self, u: int) -> int:
+        """Out-degree of *u*."""
+        return int(self.neighbors(u).shape[0])
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every node as an ``int64`` array."""
+        keys = self._pma.to_array()
+        return np.bincount(
+            (keys >> _SHIFT).astype(np.int64), minlength=self.num_nodes
+        )
+
+    def edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """Current (sources, destinations), sorted by (u, v)."""
+        keys = self._pma.to_array()
+        return (
+            (keys >> _SHIFT).astype(np.int64),
+            (keys & _VMASK).astype(np.int64),
+        )
+
+    @property
+    def capacity(self) -> int:
+        """Backing-array slots (PMA capacity)."""
+        return self._pma.capacity
+
+    # ------------------------------------------------------------------
+    def to_csr(self) -> CSRGraph:
+        """A static snapshot of the current graph."""
+        keys = self._pma.to_array()
+        src = (keys >> _SHIFT).astype(np.int64)
+        dst = (keys & _VMASK).astype(np.int64)
+        indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=self.num_nodes), out=indptr[1:])
+        return CSRGraph(indptr, dst, validate=False)
+
+    def apply_batch(self, additions=None, deletions=None) -> tuple[int, int]:
+        """Apply edge batches; returns (#added, #deleted)."""
+        added = deleted = 0
+        if additions is not None:
+            au, av = additions
+            for u, v in zip(np.asarray(au).tolist(), np.asarray(av).tolist()):
+                added += self.add_edge(int(u), int(v))
+        if deletions is not None:
+            du, dv = deletions
+            for u, v in zip(np.asarray(du).tolist(), np.asarray(dv).tolist()):
+                deleted += self.delete_edge(int(u), int(v))
+        return added, deleted
+
+    def memory_bytes(self) -> int:
+        """Resident bytes of this structure's payload."""
+        return self._pma.memory_bytes()
+
+    def check_invariants(self) -> None:
+        """Raise when internal invariants are violated (test hook)."""
+        self._pma.check_invariants()
+
+    def __repr__(self) -> str:
+        return (
+            f"PCSRGraph(n={self.num_nodes}, m={self.num_edges}, "
+            f"capacity={self._pma.capacity}, mem={human_bytes(self.memory_bytes())})"
+        )

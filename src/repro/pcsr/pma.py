@@ -1,0 +1,306 @@
+"""Packed Memory Array — the engine behind PCSR [9], [13].
+
+A PMA keeps a sorted set of ``uint64`` keys in an array with evenly
+distributed gaps.  Inserts and deletes shift only within a small
+window and trigger a *rebalance* when a window's density leaves its
+bounds, giving O(log² n) amortised updates while keeping the keys
+physically sorted — which is exactly what range scans (CSR rows) need.
+
+Implementation notes
+--------------------
+* Empty slots carry a *marker*: the value of the next occupied slot to
+  the right (``2**64 - 1`` past the last key).  The backing array is
+  therefore globally non-decreasing and a plain ``np.searchsorted``
+  locates any key, occupied or not.
+* Leaves are ``Θ(log capacity)`` slots; windows are aligned power-of-2
+  groups of leaves.  Density bounds interpolate between
+  ``(0.08, 0.92)`` at the leaves and ``(0.30, 0.70)`` at the root, the
+  classic Bender/Itai parameters.
+* The array doubles when the root window over-fills and halves when it
+  under-fills (never below the minimum capacity), redistributing
+  evenly each time.
+
+The paper's Section II discusses PCSR as the dynamic alternative it
+chose not to take; this module exists so the trade-off can be measured
+(``benchmarks/bench_dynamic.py``) rather than asserted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils import require
+
+__all__ = ["PackedMemoryArray"]
+
+_EMPTY = np.uint64(2**64 - 1)  # marker for "no key to the right"
+_MIN_CAPACITY = 16
+
+# density bounds: (leaf, root)
+_UPPER = (0.92, 0.70)
+_LOWER = (0.08, 0.30)
+
+
+def _leaf_size_for(capacity: int) -> int:
+    """Θ(log capacity) slots, rounded to a power of two, >= 8."""
+    target = max(8, int(np.log2(capacity)) if capacity > 1 else 8)
+    size = 8
+    while size < target:
+        size *= 2
+    return min(size, capacity)
+
+
+class PackedMemoryArray:
+    """A sorted dynamic set of ``uint64`` keys with gapped storage.
+
+    Keys must be strictly below ``2**64 - 1`` (the empty marker).
+    Duplicate inserts are rejected (set semantics) — PCSR stores each
+    edge once.
+    """
+
+    __slots__ = ("_keys", "_occ", "_n", "_capacity", "_leaf", "_height")
+
+    def __init__(self, capacity: int = _MIN_CAPACITY):
+        require(capacity >= 1, "capacity must be positive")
+        cap = _MIN_CAPACITY
+        while cap < capacity:
+            cap *= 2
+        self._alloc(cap)
+        self._n = 0
+
+    def _alloc(self, capacity: int) -> None:
+        self._capacity = capacity
+        self._leaf = _leaf_size_for(capacity)
+        self._height = max(0, int(np.log2(capacity // self._leaf)))
+        self._keys = np.full(capacity, _EMPTY, dtype=np.uint64)
+        self._occ = np.zeros(capacity, dtype=bool)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def density(self) -> float:
+        """Occupied fraction of the backing array."""
+        return self._n / self._capacity if self._capacity else 0.0
+
+    def memory_bytes(self) -> int:
+        """Resident bytes of this structure's payload."""
+        return self._keys.nbytes + self._occ.nbytes
+
+    # ------------------------------------------------------------------
+    def _bounds(self, depth_from_leaf: int) -> tuple[float, float]:
+        """(lower, upper) density bound for a window *d* levels above a
+        leaf (d = 0 is a leaf, d = height is the whole array)."""
+        h = max(1, self._height)
+        frac = min(1.0, depth_from_leaf / h)
+        upper = _UPPER[0] + (_UPPER[1] - _UPPER[0]) * frac
+        lower = _LOWER[0] + (_LOWER[1] - _LOWER[0]) * frac
+        return lower, upper
+
+    def _locate(self, key: np.uint64) -> int:
+        """First slot whose (marker) value is >= key."""
+        return int(np.searchsorted(self._keys, key, side="left"))
+
+    def _find_occupied(self, key: np.uint64) -> int | None:
+        """Index of the occupied slot holding *key*, or None."""
+        idx = self._locate(key)
+        while idx < self._capacity and self._keys[idx] == key:
+            if self._occ[idx]:
+                return idx
+            idx += 1
+        return None
+
+    def __contains__(self, key) -> bool:
+        k = self._check_key(key)
+        return self._find_occupied(k) is not None
+
+    @staticmethod
+    def _check_key(key) -> np.uint64:
+        k = int(key)
+        if not (0 <= k < int(_EMPTY)):
+            raise ValidationError(f"key {k} outside [0, 2**64 - 1)")
+        return np.uint64(k)
+
+    # ------------------------------------------------------------------
+    def insert(self, key) -> bool:
+        """Insert *key*; returns False when already present."""
+        k = self._check_key(key)
+        if self._find_occupied(k) is not None:
+            return False
+        leaf_start = self._leaf_of(min(self._locate(k), self._capacity - 1))
+        window, depth = self._find_window(leaf_start, adding=1)
+        if window is None:
+            self._resize(self._capacity * 2, extra=k)
+        else:
+            self._redistribute(window[0], window[1], extra=k)
+        self._n += 1
+        return True
+
+    def delete(self, key) -> bool:
+        """Remove *key*; returns False when absent."""
+        k = self._check_key(key)
+        idx = self._find_occupied(k)
+        if idx is None:
+            return False
+        self._occ[idx] = False
+        self._n -= 1
+        # fix markers within this leaf (the freed slot and any empties
+        # left of it now point at the next occupied value)
+        start = self._leaf_of(idx)
+        self._refill_markers(start, min(start + self._leaf, self._capacity))
+        if self._n == 0:
+            self._alloc(_MIN_CAPACITY)
+            return True
+        lower_root = _LOWER[1]
+        if (
+            self._capacity > _MIN_CAPACITY
+            and self._n / (self._capacity // 2) <= _UPPER[1]
+            and self.density() < lower_root
+        ):
+            self._resize(self._capacity // 2)
+            return True
+        window = self._find_window_lower(start)
+        if window is not None:
+            self._redistribute(window[0], window[1])
+        return True
+
+    # ------------------------------------------------------------------
+    def _leaf_of(self, idx: int) -> int:
+        return (idx // self._leaf) * self._leaf
+
+    def _find_window(self, leaf_start: int, adding: int) -> tuple[tuple[int, int] | None, int]:
+        """Smallest aligned window around the leaf that can absorb
+        *adding* more keys within its upper density bound."""
+        size = self._leaf
+        start = leaf_start
+        depth = 0
+        while True:
+            count = int(self._occ[start : start + size].sum()) + adding
+            _, upper = self._bounds(depth)
+            if count <= upper * size:
+                return (start, start + size), depth
+            if size == self._capacity:
+                return None, depth
+            size *= 2
+            start = (start // size) * size
+            depth += 1
+
+    def _find_window_lower(self, leaf_start: int) -> tuple[int, int] | None:
+        """Smallest aligned window meeting its lower density bound after
+        a delete (rebalance target); None when even the leaf is fine."""
+        size = self._leaf
+        start = leaf_start
+        depth = 0
+        while True:
+            count = int(self._occ[start : start + size].sum())
+            lower, _ = self._bounds(depth)
+            if count >= lower * size:
+                if depth == 0:
+                    return None  # leaf healthy, nothing to do
+                return (start, start + size)
+            if size == self._capacity:
+                return (start, start + size)
+            size *= 2
+            start = (start // size) * size
+            depth += 1
+
+    # ------------------------------------------------------------------
+    def _redistribute(self, start: int, stop: int, extra: np.uint64 | None = None) -> None:
+        """Spread the window's keys (plus *extra*) evenly over it."""
+        window = slice(start, stop)
+        keys = self._keys[window][self._occ[window]]
+        if extra is not None:
+            pos = int(np.searchsorted(keys, extra))
+            keys = np.insert(keys, pos, extra)
+        width = stop - start
+        count = keys.shape[0]
+        self._occ[window] = False
+        self._keys[window] = _EMPTY
+        if count:
+            slots = start + (np.arange(count, dtype=np.int64) * width) // count
+            self._keys[slots] = keys
+            self._occ[slots] = True
+        self._refill_markers(start, stop)
+
+    def _refill_markers(self, start: int, stop: int) -> None:
+        """Set every empty slot in [start, stop) to the value of the
+        next occupied slot (vectorised backward fill)."""
+        boundary = self._keys[stop] if stop < self._capacity else _EMPTY
+        vals = np.where(self._occ[start:stop], self._keys[start:stop], _EMPTY)
+        filled = np.minimum.accumulate(
+            np.concatenate((vals, [boundary]))[::-1]
+        )[::-1][:-1]
+        self._keys[start:stop] = np.where(self._occ[start:stop], self._keys[start:stop], filled)
+        # the window's first value may have changed; empty slots to the
+        # left pointed at the old first value and must follow the new one
+        if start > 0:
+            val = self._keys[start]
+            i = start - 1
+            while i >= 0 and not self._occ[i] and self._keys[i] != val:
+                self._keys[i] = val
+                i -= 1
+
+    def _resize(self, new_capacity: int, extra: np.uint64 | None = None) -> None:
+        keys = self._keys[self._occ]
+        if extra is not None:
+            pos = int(np.searchsorted(keys, extra))
+            keys = np.insert(keys, pos, extra)
+        self._alloc(max(_MIN_CAPACITY, new_capacity))
+        count = keys.shape[0]
+        if count:
+            slots = (np.arange(count, dtype=np.int64) * self._capacity) // count
+            self._keys[slots] = keys
+            self._occ[slots] = True
+        self._refill_markers(0, self._capacity)
+
+    # ------------------------------------------------------------------
+    def to_array(self) -> np.ndarray:
+        """All keys, sorted (a copy)."""
+        return self._keys[self._occ].copy()
+
+    def range_scan(self, lo, hi) -> np.ndarray:
+        """Sorted keys in ``[lo, hi)`` — a CSR row when keys are edges."""
+        lo_k = self._check_key(lo)
+        hi_k = int(hi)
+        if hi_k < 0:
+            raise ValidationError("range end must be non-negative")
+        pos_lo = self._locate(lo_k)
+        pos_hi = (
+            int(np.searchsorted(self._keys, np.uint64(min(hi_k, int(_EMPTY) - 1)), side="left"))
+            if hi_k < int(_EMPTY)
+            else self._capacity
+        )
+        window = slice(pos_lo, pos_hi)
+        return self._keys[window][self._occ[window]].copy()
+
+    def __iter__(self):
+        return iter(self.to_array().tolist())
+
+    def check_invariants(self) -> None:
+        """Raise when internal invariants are violated (test hook)."""
+        keys = self._keys[self._occ]
+        if keys.size > 1 and np.any(keys[1:] <= keys[:-1]):
+            raise AssertionError("occupied keys not strictly increasing")
+        if not np.all(self._keys[:-1] <= self._keys[1:]):
+            raise AssertionError("marker array not non-decreasing")
+        if int(self._occ.sum()) != self._n:
+            raise AssertionError("count drift")
+        # marker correctness: every empty slot equals next occupied value
+        expected = np.minimum.accumulate(
+            np.concatenate(
+                (np.where(self._occ, self._keys, _EMPTY), [_EMPTY])
+            )[::-1]
+        )[::-1][:-1]
+        if not np.array_equal(np.where(self._occ, self._keys, expected), self._keys):
+            raise AssertionError("stale markers")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PackedMemoryArray(n={self._n}, capacity={self._capacity}, "
+            f"leaf={self._leaf}, density={self.density():.2f})"
+        )

@@ -1,0 +1,15 @@
+"""Parallel querying algorithms of Section V (Algorithms 6-9)."""
+
+from .edges import batch_edge_existence, single_edge_exists
+from .engine import QueryEngine
+from .neighbors import batch_neighbors
+from .stores import GraphStore, row_decode_cost
+
+__all__ = [
+    "batch_edge_existence",
+    "single_edge_exists",
+    "QueryEngine",
+    "batch_neighbors",
+    "GraphStore",
+    "row_decode_cost",
+]

@@ -1,0 +1,138 @@
+"""Algorithms 7 and 8 — edge-existence queries.
+
+Two shapes, per Section V-B:
+
+* :func:`batch_edge_existence` (Algorithm 7): an *array* of (u, v)
+  queries is split across processors; each processor extracts the
+  source row and tests membership — linearly ("scan", the paper's
+  loop) or by binary search ("bisect", the extension the paper
+  suggests).
+* :func:`single_edge_exists` (Algorithm 8): *one* query, parallelised
+  by splitting u's neighbour row itself into ``p`` chunks; "one of the
+  processors will return true if the edge exists, if not all return
+  false".
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+import numpy as np
+
+from ..errors import QueryError, ValidationError
+from ..parallel.chunking import chunk_bounds
+from ..parallel.cost import Cost
+from ..parallel.machine import Executor, SerialExecutor, TaskContext
+from .stores import GraphStore, row_decode_cost
+
+__all__ = ["batch_edge_existence", "single_edge_exists"]
+
+Method = Literal["scan", "bisect"]
+
+
+def _membership(row: np.ndarray, v: int, method: Method) -> tuple[bool, int]:
+    """(present, elements inspected) under the chosen search method."""
+    if method == "scan":
+        hits = np.flatnonzero(row == v)
+        if hits.size:
+            return True, int(hits[0]) + 1
+        return False, row.shape[0]
+    if method == "bisect":
+        pos = int(np.searchsorted(row, v))
+        steps = max(1, int(np.ceil(np.log2(row.shape[0] + 1))))
+        return pos < row.shape[0] and int(row[pos]) == v, steps
+    raise ValidationError(f"unknown search method {method!r}")
+
+
+def batch_edge_existence(
+    store: GraphStore,
+    edges: Sequence[tuple[int, int]] | np.ndarray,
+    executor: Executor | None = None,
+    *,
+    method: Method = "scan",
+) -> np.ndarray:
+    """Existence of every (u, v) query, chunked over processors.
+
+    Accepts a sequence of pairs or an ``(m, 2)`` array; returns a bool
+    array in query order.
+    """
+    executor = executor or SerialExecutor()
+    qs = np.asarray(edges, dtype=np.int64)
+    if qs.ndim != 2 or (qs.size and qs.shape[1] != 2):
+        raise QueryError("edge queries must be an (m, 2) array of pairs")
+    n = store.num_nodes
+    if qs.size and (int(qs.min()) < 0 or int(qs.max()) >= n):
+        raise QueryError(f"query ids must lie in [0, {n})")
+
+    out = np.zeros(qs.shape[0], dtype=bool)
+    bounds = chunk_bounds(qs.shape[0], executor.p)
+
+    def run_chunk(ctx: TaskContext, cid: int):
+        s, e = int(bounds[cid]), int(bounds[cid + 1])
+        decode_units = 0.0
+        inspected = 0
+        for i in range(s, e):
+            u, v = int(qs[i, 0]), int(qs[i, 1])
+            row = store.neighbors(u)
+            decode_units += row_decode_cost(store, row.shape[0])
+            present, steps = _membership(row, v, method)
+            out[i] = present
+            inspected += steps
+        ctx.charge(
+            Cost(reads=2 * (e - s) + inspected, writes=e - s, bit_ops=decode_units)
+        )
+
+    executor.parallel(
+        [_bind(run_chunk, cid) for cid in range(executor.p)],
+        label=f"query:edges-{method}",
+    )
+    return out
+
+
+def single_edge_exists(
+    store: GraphStore,
+    u: int,
+    v: int,
+    executor: Executor | None = None,
+    *,
+    method: Method = "scan",
+) -> bool:
+    """Algorithm 8: split u's neighbour row across processors.
+
+    The row is extracted once (serial, charged), then each processor
+    searches its own slice; any hit wins.
+    """
+    executor = executor or SerialExecutor()
+    n = store.num_nodes
+    if not (0 <= u < n and 0 <= v < n):
+        raise QueryError(f"edge ({u}, {v}) out of range for n={n}")
+
+    def extract(ctx: TaskContext):
+        row = store.neighbors(u)
+        ctx.charge(Cost(bit_ops=row_decode_cost(store, row.shape[0])))
+        return row
+
+    row = executor.serial(extract, label="query:single-extract")
+    bounds = chunk_bounds(row.shape[0], executor.p)
+    found = np.zeros(executor.p, dtype=bool)
+
+    def search_chunk(ctx: TaskContext, cid: int):
+        s, e = int(bounds[cid]), int(bounds[cid + 1])
+        if e <= s:
+            return
+        present, steps = _membership(row[s:e], v, method)
+        found[cid] = present
+        ctx.charge(Cost(reads=steps, flops=steps))
+
+    executor.parallel(
+        [_bind(search_chunk, cid) for cid in range(executor.p)],
+        label=f"query:single-{method}",
+    )
+    return bool(found.any())
+
+
+def _bind(fn, cid: int):
+    def task(ctx: TaskContext):
+        return fn(ctx, cid)
+
+    return task

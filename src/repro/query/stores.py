@@ -1,0 +1,50 @@
+"""The store protocol every queryable graph representation satisfies.
+
+Algorithms 6-9 are written against this surface, so one harness can
+query the uncompressed CSR, the bit-packed CSR, and every baseline
+store interchangeably — the apples-to-apples setup of Section VI.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["GraphStore", "row_decode_cost"]
+
+
+@runtime_checkable
+class GraphStore(Protocol):
+    """Minimal query surface of a graph store."""
+
+    num_nodes: int
+    num_edges: int
+
+    def degree(self, u: int) -> int:
+        """Out-degree of *u*."""
+        ...
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Destinations adjacent to *u*, sorted."""
+        ...
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True when the edge (u, v) exists."""
+        ...
+
+    def memory_bytes(self) -> int:
+        """Resident bytes of this structure's payload."""
+        ...
+
+
+def row_decode_cost(store, degree: int) -> float:
+    """Abstract work units to materialise one row of *store*.
+
+    Packed stores pay per-bit decode; array-backed stores pay one read
+    per neighbour.  Used by the query engine's cost charges.
+    """
+    width = getattr(store, "column_width", None)
+    if width is not None:
+        return float(degree * width)
+    return float(degree)

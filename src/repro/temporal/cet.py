@@ -1,0 +1,98 @@
+"""CET — the time-ordered wavelet-tree temporal index [21].
+
+Where CAS orders the event sequence by vertex, CET keeps it in *time*
+order and puts the (interleaved-alphabet) wavelet tree over the edge
+identities themselves.  A temporal prefix is then a plain sequence
+prefix: ``edge_active(u, v, t)`` is one rank of the edge's symbol at
+the frame boundary, and ``neighbors_at(u, t)`` is a range-distinct
+query restricted to u's symbol interval — the subtree-pruned traversal
+:meth:`~repro.bitpack.wavelet.WaveletTree.distinct_in_range` provides.
+
+Distinct edges are densely re-labelled so the alphabet is
+``#distinct edges`` rather than ``n²``; the label table keeps symbol
+order identical to (u, v) lexicographic order, so a vertex's edges are
+a contiguous symbol interval.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bitpack.wavelet import WaveletTree
+from ..errors import FrameError, QueryError
+from ..utils import human_bytes
+from .events import EventList, encode_keys
+
+__all__ = ["CETIndex"]
+
+
+class CETIndex:
+    """Time-ordered event sequence + wavelet tree over edge symbols."""
+
+    __slots__ = ("num_nodes", "num_frames", "_frame_offsets", "_edge_keys", "_tree")
+
+    def __init__(self, events: EventList):
+        self.num_nodes = events.num_nodes
+        self.num_frames = events.num_frames
+        # events are already time-sorted (EventList contract)
+        self._frame_offsets = events.frame_offsets()
+        keys = events.keys()
+        # dense, order-preserving edge alphabet
+        self._edge_keys, symbols = np.unique(keys, return_inverse=True)
+        self._tree = WaveletTree(
+            symbols.astype(np.int64), sigma=max(1, self._edge_keys.shape[0])
+        )
+
+    # ------------------------------------------------------------------
+    def _check(self, u: int, frame: int) -> None:
+        if not (0 <= u < self.num_nodes):
+            raise QueryError(f"node {u} out of range [0, {self.num_nodes})")
+        if not (0 <= frame < max(1, self.num_frames)):
+            raise FrameError(f"frame {frame} out of range [0, {self.num_frames})")
+
+    def _prefix_len(self, frame: int) -> int:
+        """Events in frames ``0..frame`` (a sequence prefix, by time order)."""
+        return int(self._frame_offsets[frame + 1])
+
+    def edge_active(self, u: int, v: int, frame: int) -> bool:
+        """One wavelet rank at the frame boundary."""
+        self._check(u, frame)
+        if not (0 <= v < self.num_nodes):
+            raise QueryError(f"node {v} out of range [0, {self.num_nodes})")
+        key = encode_keys(np.asarray([u]), np.asarray([v]))[0]
+        slot = int(np.searchsorted(self._edge_keys, key))
+        if slot >= self._edge_keys.shape[0] or self._edge_keys[slot] != key:
+            return False  # edge never appears in the stream
+        return self._tree.rank(slot, self._prefix_len(frame)) % 2 == 1
+
+    def neighbors_at(self, u: int, frame: int) -> np.ndarray:
+        """Range-distinct over u's contiguous symbol interval."""
+        self._check(u, frame)
+        lo_key = np.uint64(u) << np.uint64(32)
+        hi_key = np.uint64(u + 1) << np.uint64(32)
+        sym_lo = int(np.searchsorted(self._edge_keys, lo_key))
+        sym_hi = int(np.searchsorted(self._edge_keys, hi_key))
+        pairs = self._tree.distinct_in_range(
+            0, self._prefix_len(frame), symbol_lo=sym_lo, symbol_hi=sym_hi
+        )
+        active = [
+            int(self._edge_keys[sym] & np.uint64(0xFFFFFFFF))
+            for sym, count in pairs
+            if count % 2 == 1
+        ]
+        return np.asarray(active, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Resident bytes of this structure's payload."""
+        return (
+            self._frame_offsets.nbytes
+            + self._edge_keys.nbytes
+            + self._tree.memory_bytes()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CETIndex(n={self.num_nodes}, frames={self.num_frames}, "
+            f"edges={self._edge_keys.shape[0]}, mem={human_bytes(self.memory_bytes())})"
+        )

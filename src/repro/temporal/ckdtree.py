@@ -1,0 +1,182 @@
+"""ck^d-tree — Caro et al.'s compressed 4-D temporal structure [5].
+
+A contact ``(u, v, ts, te)`` is a point in a 4-dimensional binary
+matrix; the ck^d-tree is the k^d-tree (here d = 4, k = 2) over that
+matrix: each node splits every dimension in half, giving 16 children
+whose presence bits are stored level-wise in rank bit vectors exactly
+like the 2-D :class:`~repro.bitpack.k2tree.K2Tree`.
+
+Queries are 4-D range searches with two pinned dimensions:
+
+* ``edge_active(u, v, t)`` — u, v exact; ``ts ∈ [0, t]``; ``te ∈
+  (t, T]``;
+* ``neighbors_at(u, t)`` — as above with v free, collecting the v
+  prefixes of surviving subtrees.
+
+Subtrees are pruned by comparing each dimension's value interval
+(``prefix << remaining`` .. ``(prefix+1) << remaining - 1``) with the
+query range — the white/black node skipping of the original paper.
+
+All four dimensions share one bit width, so node ids and frame bounds
+are both capped at 2**15 (codes stay in uint64) — far beyond every
+workload in this repository's benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bitpack.rank import RankBitVector
+from ..errors import FrameError, QueryError, ValidationError
+from ..utils import bits_for_count, human_bytes, require
+from .contacts import ContactList, contacts_from_events
+from .events import EventList
+
+__all__ = ["CKDTree"]
+
+_MAX_LEVELS = 15  # 4 bits per level and a sign-safe uint64 code
+
+
+class CKDTree:
+    """k^d-tree (d = 4) over contact quadruplets."""
+
+    __slots__ = ("num_nodes", "num_frames", "num_contacts", "levels", "_bitmaps")
+
+    def __init__(self, contacts: ContactList):
+        self.num_nodes = contacts.num_nodes
+        self.num_frames = contacts.num_frames
+        self.num_contacts = len(contacts)
+        # one shared bit width across all four dimensions; te reaches
+        # num_frames (open-ended contacts), hence the +1
+        width = max(
+            bits_for_count(max(1, self.num_nodes)),
+            bits_for_count(max(1, self.num_frames) + 1),
+        )
+        if width > _MAX_LEVELS:
+            raise ValidationError(
+                f"ck^d-tree supports up to 2**{_MAX_LEVELS} ids/frames"
+            )
+        self.levels = width
+        codes = self._codes(contacts, width)
+        codes = np.unique(codes)
+        bitmaps: list[RankBitVector] = []
+        parents = np.zeros(1, dtype=np.uint64)
+        for level in range(width):
+            shift = np.uint64(4 * (width - level - 1))
+            children = np.unique(codes >> shift)
+            child_parents = children >> np.uint64(4)
+            slot = np.searchsorted(parents, child_parents)
+            positions = slot * 16 + (children & np.uint64(15)).astype(np.int64)
+            bitmaps.append(
+                RankBitVector.from_positions(positions, 16 * parents.shape[0])
+            )
+            parents = children
+        self._bitmaps = bitmaps
+
+    @staticmethod
+    def _codes(contacts: ContactList, width: int) -> np.ndarray:
+        codes = np.zeros(len(contacts), dtype=np.uint64)
+        fields = (
+            contacts.u.astype(np.uint64),
+            contacts.v.astype(np.uint64),
+            contacts.ts.astype(np.uint64),
+            contacts.te.astype(np.uint64),
+        )
+        for level in range(width):
+            shift = np.uint64(width - level - 1)
+            digit = np.zeros(len(contacts), dtype=np.uint64)
+            for field in fields:
+                digit = (digit << np.uint64(1)) | ((field >> shift) & np.uint64(1))
+            codes = (codes << np.uint64(4)) | digit
+        return codes
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_events(cls, events: EventList) -> "CKDTree":
+        return cls(contacts_from_events(events))
+
+    def _check(self, u: int, frame: int) -> None:
+        if not (0 <= u < self.num_nodes):
+            raise QueryError(f"node {u} out of range [0, {self.num_nodes})")
+        if not (0 <= frame < max(1, self.num_frames)):
+            raise FrameError(f"frame {frame} out of range [0, {self.num_frames})")
+
+    # ------------------------------------------------------------------
+    def _search(self, u: int, frame: int, v: int | None):
+        """Shared 4-D traversal; yields surviving leaf v-values."""
+        if self.num_contacts == 0:
+            return []
+        found: list[int] = []
+        # stack: (level, group, v_prefix, ts_prefix, te_prefix)
+        stack = [(0, 0, 0, 0, 0)]
+        t_lo_ts, t_hi_te = frame, frame + 1  # ts <= frame; te >= frame+1
+        width = self.levels
+        while stack:
+            level, group, v_pre, ts_pre, te_pre = stack.pop()
+            bitmap = self._bitmaps[level]
+            remaining = width - level - 1
+            u_bit = (u >> remaining) & 1
+            v_bits = ((v >> remaining) & 1,) if v is not None else (0, 1)
+            for v_bit in v_bits:
+                for ts_bit in (0, 1):
+                    ts_next = (ts_pre << 1) | ts_bit
+                    # smallest ts in this subtree must stay <= frame
+                    if (ts_next << remaining) > t_lo_ts:
+                        continue
+                    for te_bit in (0, 1):
+                        te_next = (te_pre << 1) | te_bit
+                        # largest te in this subtree must reach frame+1
+                        te_max = ((te_next + 1) << remaining) - 1
+                        if te_max < t_hi_te:
+                            continue
+                        digit = (u_bit << 3) | (v_bit << 2) | (ts_bit << 1) | te_bit
+                        pos = group + digit
+                        if not bitmap.get(pos):
+                            continue
+                        v_next = (v_pre << 1) | v_bit
+                        if level + 1 == width:
+                            # leaf: exact values known; final range check
+                            if ts_next <= frame and te_next >= frame + 1:
+                                found.append(v_next)
+                        else:
+                            stack.append(
+                                (
+                                    level + 1,
+                                    16 * bitmap.rank1(pos),
+                                    v_next,
+                                    ts_next,
+                                    te_next,
+                                )
+                            )
+        return found
+
+    def edge_active(self, u: int, v: int, frame: int) -> bool:
+        """Parity-rule activity of (u, v) at *frame*."""
+        self._check(u, frame)
+        if not (0 <= v < self.num_nodes):
+            raise QueryError(f"node {v} out of range [0, {self.num_nodes})")
+        return bool(self._search(u, frame, v))
+
+    def neighbors_at(self, u: int, frame: int) -> np.ndarray:
+        """Active neighbours of *u* at *frame*, sorted."""
+        self._check(u, frame)
+        values = sorted(set(self._search(u, frame, None)))
+        return np.asarray(values, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Resident bytes of this structure's payload."""
+        return sum(b.memory_bytes() for b in self._bitmaps)
+
+    def bits_per_contact(self) -> float:
+        """Compressed bits spent per stored contact."""
+        if self.num_contacts == 0:
+            return 0.0
+        return sum(b.nbits for b in self._bitmaps) / self.num_contacts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CKDTree(n={self.num_nodes}, frames={self.num_frames}, "
+            f"contacts={self.num_contacts}, levels={self.levels}, "
+            f"mem={human_bytes(self.memory_bytes())})"
+        )

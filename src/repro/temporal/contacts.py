@@ -1,0 +1,149 @@
+"""Contacts — the interval view of a time-evolving graph ([5], [21]).
+
+Caro et al. define a *contact* as a quadruplet ``(u, v, ts, te)``: the
+edge (u, v) is active during the half-open frame interval
+``[ts, te)``.  Toggle streams (this library's native input, Section IV)
+and contact lists are two encodings of the same object; this module
+converts between them and provides interval-algebra queries, which is
+what the EdgeLog baseline effectively stores per neighbour.
+
+Open-ended contacts (active through the last frame) use
+``te == num_frames``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FrameError, ValidationError
+from ..utils import require
+from .events import EventList
+
+__all__ = ["ContactList", "contacts_from_events", "events_from_contacts"]
+
+
+@dataclass(frozen=True)
+class ContactList:
+    """Columnar (u, v, ts, te) contacts over ``num_frames`` frames."""
+
+    u: np.ndarray
+    v: np.ndarray
+    ts: np.ndarray
+    te: np.ndarray
+    num_nodes: int
+    num_frames: int
+
+    def __post_init__(self):
+        arrays = [np.asarray(a) for a in (self.u, self.v, self.ts, self.te)]
+        if any(a.ndim != 1 for a in arrays):
+            raise ValidationError("contact arrays must be 1-D")
+        lengths = {a.shape[0] for a in arrays}
+        if len(lengths) != 1:
+            raise ValidationError("contact arrays must have equal length")
+        require(self.num_nodes >= 0, "num_nodes must be non-negative")
+        require(self.num_frames >= 0, "num_frames must be non-negative")
+        uu, vv, ts, te = arrays
+        if uu.size:
+            for name, arr in (("u", uu), ("v", vv)):
+                if int(arr.min()) < 0 or int(arr.max()) >= self.num_nodes:
+                    raise ValidationError(f"{name} ids must lie in [0, {self.num_nodes})")
+            if int(ts.min()) < 0 or int(te.max()) > self.num_frames:
+                raise ValidationError("contact intervals must lie within the frame range")
+            if np.any(ts >= te):
+                raise ValidationError("contacts need ts < te")
+        for name, arr in zip(("u", "v", "ts", "te"), arrays):
+            object.__setattr__(self, name, arr.astype(np.int64, copy=False))
+
+    def __len__(self) -> int:
+        return self.u.shape[0]
+
+    # ------------------------------------------------------------------
+    def active_at(self, u: int, v: int, frame: int) -> bool:
+        """Is (u, v) inside any of its contact intervals at *frame*?"""
+        if not (0 <= frame < max(1, self.num_frames)):
+            raise FrameError(f"frame {frame} out of range [0, {self.num_frames})")
+        mask = (self.u == u) & (self.v == v)
+        return bool(np.any((self.ts[mask] <= frame) & (frame < self.te[mask])))
+
+    def durations(self) -> np.ndarray:
+        """Active-frame count of every contact."""
+        return self.te - self.ts
+
+    def lifetime_of(self, u: int, v: int) -> int:
+        """Total frames (u, v) spent active across all its contacts."""
+        mask = (self.u == u) & (self.v == v)
+        return int((self.te[mask] - self.ts[mask]).sum())
+
+
+def contacts_from_events(events: EventList) -> ContactList:
+    """Pair up toggles into activity intervals.
+
+    Consecutive toggles of the same edge open and close a contact; an
+    unmatched final toggle leaves the contact open through the last
+    frame (``te = num_frames``), exactly the EdgeLog interval rule.
+    """
+    num_frames = events.num_frames
+    if len(events) == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return ContactList(empty, empty, empty, empty, events.num_nodes, num_frames)
+    order = np.lexsort((events.t, events.v, events.u))
+    us = events.u[order]
+    vs = events.v[order]
+    ts_all = events.t[order]
+
+    out_u, out_v, out_ts, out_te = [], [], [], []
+    keys = (us.astype(np.uint64) << np.uint64(32)) | vs.astype(np.uint64)
+    boundaries = np.concatenate(
+        ([0], np.flatnonzero(keys[1:] != keys[:-1]) + 1, [keys.shape[0]])
+    )
+    for b in range(boundaries.shape[0] - 1):
+        lo, hi = int(boundaries[b]), int(boundaries[b + 1])
+        times = ts_all[lo:hi]
+        # within one frame, an even toggle count cancels (parity rule)
+        frames, counts = np.unique(times, return_counts=True)
+        effective = frames[counts % 2 == 1]
+        for i in range(0, effective.shape[0], 2):
+            start = int(effective[i])
+            end = int(effective[i + 1]) if i + 1 < effective.shape[0] else num_frames
+            out_u.append(int(us[lo]))
+            out_v.append(int(vs[lo]))
+            out_ts.append(start)
+            out_te.append(end)
+    return ContactList(
+        np.asarray(out_u, dtype=np.int64),
+        np.asarray(out_v, dtype=np.int64),
+        np.asarray(out_ts, dtype=np.int64),
+        np.asarray(out_te, dtype=np.int64),
+        events.num_nodes,
+        num_frames,
+    )
+
+
+def events_from_contacts(contacts: ContactList) -> EventList:
+    """Flatten contacts back into a toggle stream.
+
+    Each contact emits an activation at ``ts`` and, unless open-ended,
+    a deactivation at ``te``.  Round-trips with
+    :func:`contacts_from_events` up to toggle-parity equivalence
+    (property-tested).
+    """
+    us, vs, ts = [], [], []
+    for u, v, s, e in zip(
+        contacts.u.tolist(), contacts.v.tolist(),
+        contacts.ts.tolist(), contacts.te.tolist(),
+    ):
+        us.append(u)
+        vs.append(v)
+        ts.append(s)
+        if e < contacts.num_frames:
+            us.append(u)
+            vs.append(v)
+            ts.append(e)
+    return EventList.from_unsorted(
+        np.asarray(us, dtype=np.int64),
+        np.asarray(vs, dtype=np.int64),
+        np.asarray(ts, dtype=np.int64),
+        contacts.num_nodes,
+    )

@@ -1,0 +1,73 @@
+"""Per-frame edge-set algebra: toggles, snapshots, and frame CSRs.
+
+A *toggle set* is the parity-reduced set of edges flipped within one
+frame; a *snapshot* is the set of edges active at a frame (cumulative
+XOR of toggles).  Both are sorted ``uint64`` key arrays.  These serial
+reference routines define the semantics the parallel Algorithm 5
+builder must match and feed the "store every frame as a full CSR"
+comparator that motivates differential storage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..csr.graph import CSRGraph
+from ..errors import FrameError
+from .events import EventList, decode_keys, parity_filter, sym_diff_sorted
+
+__all__ = [
+    "frame_toggles",
+    "frame_snapshots",
+    "snapshot_to_csr",
+    "csr_from_keys",
+    "full_frame_csrs",
+]
+
+
+def frame_toggles(events: EventList) -> list[np.ndarray]:
+    """Parity-reduced toggle set of every frame (serial reference)."""
+    offsets = events.frame_offsets()
+    keys = events.keys()
+    return [
+        parity_filter(keys[offsets[f] : offsets[f + 1]])
+        for f in range(events.num_frames)
+    ]
+
+
+def frame_snapshots(events: EventList) -> list[np.ndarray]:
+    """Active-edge set of every frame: cumulative XOR of toggles."""
+    snapshots: list[np.ndarray] = []
+    current = np.zeros(0, dtype=np.uint64)
+    for toggles in frame_toggles(events):
+        current = sym_diff_sorted(current, toggles)
+        snapshots.append(current)
+    return snapshots
+
+
+def csr_from_keys(keys: np.ndarray, n: int) -> CSRGraph:
+    """Build a CSR from a sorted edge-key set.
+
+    Keys sort exactly like (u, v) lexicographic order, so the decoded
+    arrays are already CSR-ready.
+    """
+    u, v = decode_keys(np.asarray(keys, dtype=np.uint64))
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(u, minlength=n), out=indptr[1:])
+    return CSRGraph(indptr, v, validate=False)
+
+
+def snapshot_to_csr(events: EventList, frame: int) -> CSRGraph:
+    """The graph active at *frame* as a CSR (brute-force oracle)."""
+    if not (0 <= frame < max(1, events.num_frames)):
+        raise FrameError(f"frame {frame} out of range [0, {events.num_frames})")
+    return csr_from_keys(events.active_keys_at(frame), events.num_nodes)
+
+
+def full_frame_csrs(events: EventList) -> list[CSRGraph]:
+    """Every frame stored as a complete CSR — the space-hungry
+    alternative Section IV argues against; used as the memory
+    comparator in the TCSR bench."""
+    return [
+        csr_from_keys(snap, events.num_nodes) for snap in frame_snapshots(events)
+    ]

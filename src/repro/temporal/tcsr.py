@@ -1,0 +1,144 @@
+"""The time-evolving differential CSR (TCSR) container.
+
+Per Section IV: frame 0 is stored as a full (bit-packed) CSR; every
+later frame stores only the *difference* from its predecessor — the set
+of edges toggled — also as a bit-packed CSR.  Activity follows the
+parity rule: an edge is active at frame ``t`` iff it appears an odd
+number of times in the base plus the deltas ``1..t``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..csr.graph import CSRGraph
+from ..csr.packed import BitPackedCSR
+from ..errors import FrameError, QueryError
+from ..utils import human_bytes, require
+from .events import encode_keys, sym_diff_sorted
+from .frames import csr_from_keys
+
+__all__ = ["TemporalCSR"]
+
+
+class TemporalCSR:
+    """Differential time-evolving CSR over ``num_frames`` frames.
+
+    Parameters
+    ----------
+    base:
+        Bit-packed CSR of the snapshot at frame 0.
+    deltas:
+        One bit-packed toggle CSR per frame ``1..num_frames-1``, in
+        order.  ``deltas[i]`` holds the edges whose state flips between
+        frame ``i`` and frame ``i + 1``.
+    """
+
+    __slots__ = ("num_nodes", "base", "deltas")
+
+    def __init__(self, num_nodes: int, base: BitPackedCSR, deltas: list[BitPackedCSR]):
+        require(num_nodes >= 0, "num_nodes must be non-negative")
+        require(base.num_nodes == num_nodes, "base node count mismatch")
+        for i, d in enumerate(deltas):
+            require(d.num_nodes == num_nodes, f"delta {i} node count mismatch")
+        self.num_nodes = int(num_nodes)
+        self.base = base
+        self.deltas = list(deltas)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_frames(self) -> int:
+        return 1 + len(self.deltas)
+
+    def _check_frame(self, frame: int) -> None:
+        if not (0 <= frame < self.num_frames):
+            raise FrameError(f"frame {frame} out of range [0, {self.num_frames})")
+
+    def _check_node(self, u: int) -> None:
+        if not (0 <= u < self.num_nodes):
+            raise QueryError(f"node {u} out of range [0, {self.num_nodes})")
+
+    # ------------------------------------------------------------------
+    def edge_active(self, u: int, v: int, frame: int) -> bool:
+        """Parity of (u, v) over the base and deltas up to *frame*.
+
+        Decodes one row per frame — the linear-in-time cost inherent to
+        differential storage (what EveLog/EdgeLog trade space against).
+        """
+        self._check_node(u)
+        self._check_node(v)
+        self._check_frame(frame)
+        state = self.base.has_edge(u, v)
+        for delta in self.deltas[:frame]:
+            if delta.has_edge(u, v):
+                state = not state
+        return state
+
+    def neighbors_at(self, u: int, frame: int) -> np.ndarray:
+        """Sorted active neighbours of *u* at *frame*."""
+        self._check_node(u)
+        self._check_frame(frame)
+        row = self.base.neighbors(u).astype(np.uint64)
+        for delta in self.deltas[:frame]:
+            row = sym_diff_sorted(row, delta.neighbors(u).astype(np.uint64))
+        return row.astype(np.int64)
+
+    def snapshot(self, frame: int) -> CSRGraph:
+        """The full graph at *frame* as an uncompressed CSR."""
+        self._check_frame(frame)
+        base_csr = self.base.to_csr()
+        src, dst = base_csr.edges()
+        keys = encode_keys(src, dst)
+        for delta in self.deltas[:frame]:
+            d_csr = delta.to_csr()
+            du, dv = d_csr.edges()
+            keys = sym_diff_sorted(keys, encode_keys(du, dv))
+        return csr_from_keys(keys, self.num_nodes)
+
+    def toggles(self, frame: int) -> CSRGraph:
+        """The stored difference entering *frame* (frame >= 1)."""
+        self._check_frame(frame)
+        if frame == 0:
+            raise FrameError("frame 0 stores a snapshot, not a difference")
+        return self.deltas[frame - 1].to_csr()
+
+    # ------------------------------------------------------------------
+    def edge_history(self, u: int, v: int) -> np.ndarray:
+        """Boolean activity of (u, v) across every frame.
+
+        One pass over the deltas (cheaper than ``num_frames`` separate
+        :meth:`edge_active` calls, which each rescan from frame 0).
+        """
+        self._check_node(u)
+        self._check_node(v)
+        out = np.empty(self.num_frames, dtype=bool)
+        state = self.base.has_edge(u, v)
+        out[0] = state
+        for f, delta in enumerate(self.deltas, start=1):
+            if delta.has_edge(u, v):
+                state = not state
+            out[f] = state
+        return out
+
+    def edge_lifetime(self, u: int, v: int) -> int:
+        """Number of frames (u, v) spent active."""
+        return int(self.edge_history(u, v).sum())
+
+    def churn_rate(self) -> float:
+        """Mean toggled edges per delta frame (0.0 with no deltas)."""
+        counts = self.delta_edge_counts()
+        return float(counts.mean()) if counts.size else 0.0
+
+    def memory_bytes(self) -> int:
+        """Packed bytes across the base and every delta."""
+        return self.base.memory_bytes() + sum(d.memory_bytes() for d in self.deltas)
+
+    def delta_edge_counts(self) -> np.ndarray:
+        """Toggled-edge count per stored delta (churn profile)."""
+        return np.asarray([d.num_edges for d in self.deltas], dtype=np.int64)
+
+    def __repr__(self) -> str:
+        return (
+            f"TemporalCSR(n={self.num_nodes}, frames={self.num_frames}, "
+            f"mem={human_bytes(self.memory_bytes())})"
+        )

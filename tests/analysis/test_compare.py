@@ -1,0 +1,110 @@
+"""Shape-verdict checkers: pass on good curves, fail on broken ones."""
+
+import pytest
+
+from repro.analysis.compare import (
+    ShapeCheck,
+    check_fig6,
+    check_fig7,
+    check_table2,
+    render_checks,
+)
+from repro.analysis.experiments import Table2Result, Table2Row
+from repro.analysis.speedup import SpeedupCurve
+from repro.parallel.cost import DEFAULT_COST_MODEL
+
+
+def make_result(times_by_graph, edges_by_graph=None, csr_frac=0.2):
+    rows = []
+    for graph, times in times_by_graph.items():
+        edges = (edges_by_graph or {}).get(graph, 1000)
+        el = edges * 10
+        t1 = times[1]
+        for p, t in sorted(times.items()):
+            rows.append(
+                Table2Row(
+                    graph=graph,
+                    num_nodes=edges // 10,
+                    num_edges=edges,
+                    edgelist_bytes=el,
+                    csr_bytes=int(el * csr_frac),
+                    processors=p,
+                    time_ms=t,
+                    speedup_pct=None if p == 1 else (1 - t / t1) * 100,
+                )
+            )
+    return Table2Result(rows=rows, scale=1.0, cost_model=DEFAULT_COST_MODEL)
+
+
+GOOD_TIMES = {1: 100.0, 4: 30.0, 8: 18.0, 16: 12.0, 64: 8.0}
+
+
+class TestTable2Checks:
+    def test_good_result_passes(self):
+        result = make_result(
+            {"a": GOOD_TIMES, "b": {p: 2 * t for p, t in GOOD_TIMES.items()}},
+            edges_by_graph={"a": 1000, "b": 2000},
+        )
+        checks = check_table2(result)
+        assert all(c.passed for c in checks)
+        assert len(checks) == 4
+
+    def test_non_monotone_fails(self):
+        bad = dict(GOOD_TIMES)
+        bad[64] = 50.0  # worse than p=16
+        checks = check_table2(make_result({"a": bad}))
+        claims = {c.claim: c.passed for c in checks}
+        assert not claims["construction time decreases monotonically with processors"]
+
+    def test_out_of_band_speedup_fails(self):
+        checks = check_table2(make_result({"a": {1: 100.0, 4: 99.0, 64: 98.0}}))
+        assert not all(c.passed for c in checks)
+
+    def test_size_ordering_mismatch_fails(self):
+        result = make_result(
+            {"small": GOOD_TIMES, "big": {p: t / 2 for p, t in GOOD_TIMES.items()}},
+            edges_by_graph={"small": 100, "big": 10_000},
+        )
+        claims = {c.claim: c.passed for c in check_table2(result)}
+        assert not claims["construction time ordering tracks problem size (n + m)"]
+
+    def test_csr_bigger_than_edgelist_fails(self):
+        checks = check_table2(make_result({"a": GOOD_TIMES}, csr_frac=2.0))
+        claims = {c.claim: c.passed for c in checks}
+        assert not claims["bit-packed CSR smaller than the text edge list"]
+
+
+def make_curves(times):
+    return {"g": SpeedupCurve("g", times)}
+
+
+class TestFigChecks:
+    def test_fig6_good(self):
+        full = {1: 100.0, 2: 55.0, 4: 30.0, 8: 18.0, 16: 12.0, 32: 9.5, 64: 8.0}
+        assert all(c.passed for c in check_fig6(make_curves(full)))
+
+    def test_fig6_no_rapid_decline_fails(self):
+        flat = {1: 100.0, 2: 95.0, 4: 90.0, 8: 85.0, 16: 80.0, 32: 75.0, 64: 70.0}
+        checks = check_fig6(make_curves(flat))
+        assert not all(c.passed for c in checks)
+
+    def test_fig7_good(self):
+        full = {1: 100.0, 2: 55.0, 4: 30.0, 8: 18.0, 16: 12.0, 32: 9.5, 64: 8.0}
+        checks = check_fig7(make_curves(full))
+        assert all(c.passed for c in checks)
+
+    def test_fig7_perfectly_linear_fails_saturation(self):
+        linear = {p: 100.0 / p for p in (1, 2, 4, 8, 16, 32, 64)}
+        checks = check_fig7(make_curves(linear))
+        claims = {c.claim: c.passed for c in checks}
+        assert not claims["curves saturate (nonzero Amdahl serial fraction)"]
+
+
+class TestRender:
+    def test_render_marks_verdicts(self):
+        out = render_checks(
+            "t",
+            [ShapeCheck("claim-a", True, "ok"), ShapeCheck("claim-b", False, "nope")],
+        )
+        assert "PASS" in out and "FAIL" in out
+        assert "claim-b" in out

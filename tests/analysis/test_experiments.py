@@ -1,0 +1,90 @@
+"""The experiment harness (Table II / Figs 6-7 reproduction paths).
+
+Runs at a tiny scale so the test suite stays fast; the benches run the
+full default scale.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    Table2Result,
+    fig7_from_fig6,
+    render_fig6,
+    render_fig7,
+    run_fig6,
+    run_table2,
+)
+
+SMALL = dict(scale=1 / 2000, min_edges=6000, graphs=("pokec", "webnotredame"))
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_table2(processors=(1, 4, 16), **SMALL)
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return run_fig6(processors=(1, 4, 16), **SMALL)
+
+
+class TestTable2:
+    def test_row_grid_complete(self, table2):
+        assert isinstance(table2, Table2Result)
+        graphs = {r.graph for r in table2.rows}
+        assert graphs == {"pokec", "webnotredame"}
+        for g in graphs:
+            ps = [r.processors for r in table2.rows if r.graph == g]
+            assert ps == [1, 4, 16]
+
+    def test_speedup_column_consistency(self, table2):
+        for g in ("pokec", "webnotredame"):
+            rows = [r for r in table2.rows if r.graph == g]
+            t1 = next(r.time_ms for r in rows if r.processors == 1)
+            for r in rows:
+                if r.processors == 1:
+                    assert r.speedup_pct is None
+                else:
+                    assert r.speedup_pct == pytest.approx(
+                        (1 - r.time_ms / t1) * 100, abs=1e-6
+                    )
+
+    def test_parallel_always_helps_at_this_scale(self, table2):
+        for g in ("pokec", "webnotredame"):
+            times = table2.times(g)
+            assert times[4] < times[1]
+            assert times[16] < times[4]
+
+    def test_csr_smaller_than_edgelist(self, table2):
+        for r in table2.rows:
+            assert r.csr_bytes < r.edgelist_bytes
+
+    def test_render_contains_paper_columns(self, table2):
+        text = table2.render()
+        for col in ("Graph", "# Nodes", "# Edges", "EdgeList Size", "CSR",
+                    "# Proc", "Time (ms)", "Speed-Up (%)"):
+            assert col in text
+
+    def test_projection_render(self, table2):
+        text = table2.render_projection()
+        assert "paper CSR" in text and "pokec" in text
+
+
+class TestFigures:
+    def test_fig6_curves_monotone_decreasing(self, fig6):
+        for curve in fig6.values():
+            times = [curve.times_ms[p] for p in sorted(curve.times_ms)]
+            assert times == sorted(times, reverse=True)
+
+    def test_fig7_derived_from_fig6(self, fig6):
+        pct = fig7_from_fig6(fig6)
+        for name, curve in fig6.items():
+            t1 = curve.times_ms[1]
+            for p, v in pct[name].items():
+                assert v == pytest.approx((1 - curve.times_ms[p] / t1) * 100)
+
+    def test_renders(self, fig6):
+        assert "Figure 6" in render_fig6(fig6)
+        out7 = render_fig7(fig6)
+        assert "Figure 7" in out7
+        assert "(paper)" in out7  # paper overlay present

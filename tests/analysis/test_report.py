@@ -1,0 +1,46 @@
+"""The one-call reproduction report."""
+
+import pytest
+
+from repro.analysis.report import build_report, write_report
+
+SMALL = dict(scale=1 / 4000, min_edges=5000)
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return build_report(**SMALL)
+
+
+class TestBuildReport:
+    def test_contains_all_sections(self, report_text):
+        for heading in ("# Reproduction report", "## Table II", "## Figure 6",
+                        "## Figure 7", "## Amdahl view"):
+            assert heading in report_text
+
+    def test_contains_verdicts(self, report_text):
+        assert "Shape verdicts:" in report_text
+        assert "PASS" in report_text
+
+    def test_contains_all_graphs(self, report_text):
+        for name in ("livejournal", "pokec", "orkut", "webnotredame"):
+            assert name in report_text
+
+    def test_records_parameters(self, report_text):
+        assert "seed 2023" in report_text
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = write_report(tmp_path / "r.md", **SMALL)
+        assert path.exists()
+        assert path.read_text().startswith("# Reproduction report")
+
+    def test_cli_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "cli.md"
+        rc = main(["report", str(out), "--scale", "0.00025", "--min-edges", "5000"])
+        assert rc == 0
+        assert out.exists()
+        assert "wrote reproduction report" in capsys.readouterr().out

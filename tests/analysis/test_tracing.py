@@ -1,0 +1,75 @@
+"""Trace summaries of the simulated machine."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tracing import (
+    render_trace,
+    serial_fraction,
+    summarize_trace,
+)
+from repro.csr import build_bitpacked_csr
+from repro.csr.builder import ensure_sorted
+from repro.errors import ValidationError
+from repro.parallel import SimulatedMachine
+
+
+@pytest.fixture
+def traced_machine(rng):
+    n, m = 500, 8000
+    src, dst = ensure_sorted(rng.integers(0, n, m), rng.integers(0, n, m))
+    machine = SimulatedMachine(8, record_trace=True)
+    build_bitpacked_csr(src, dst, n, machine)
+    return machine
+
+
+class TestSummarize:
+    def test_shares_sum_to_one(self, traced_machine):
+        summaries = summarize_trace(traced_machine)
+        assert sum(s.share for s in summaries) == pytest.approx(1.0)
+        assert summaries == sorted(summaries, key=lambda s: -s.total_ns)
+
+    def test_expected_phases_present(self, traced_machine):
+        labels = {s.label for s in summarize_trace(traced_machine)}
+        assert {"degree:count", "scan:local", "build:scatter",
+                "bitpack:jA:pack", "bitpack:jA:merge"} <= labels
+
+    def test_merge_is_serial_kind(self, traced_machine):
+        kinds = {s.label: s.kind for s in summarize_trace(traced_machine)}
+        assert kinds["bitpack:jA:merge"] == "serial"
+        assert kinds["scan:carry"] == "locked"
+        assert kinds["degree:count"] == "parallel"
+
+    def test_requires_trace(self):
+        with pytest.raises(ValidationError, match="record_trace"):
+            summarize_trace(SimulatedMachine(2))
+
+
+class TestSerialFraction:
+    def test_between_zero_and_one(self, traced_machine):
+        frac = serial_fraction(traced_machine)
+        assert 0.0 < frac < 1.0
+
+    def test_empty_trace_is_zero(self):
+        machine = SimulatedMachine(2, record_trace=True)
+        assert serial_fraction(machine) == 0.0
+
+    def test_floors_the_speedup(self, rng):
+        """T_p can never beat the structural serial fraction."""
+        n, m = 300, 6000
+        src, dst = ensure_sorted(rng.integers(0, n, m), rng.integers(0, n, m))
+        m1 = SimulatedMachine(1, record_trace=True)
+        build_bitpacked_csr(src, dst, n, m1)
+        frac = serial_fraction(m1)
+        m64 = SimulatedMachine(64)
+        build_bitpacked_csr(src, dst, n, m64)
+        # simulated T64 >= serial part of T1 (sync costs make it strict)
+        assert m64.elapsed_ns() >= frac * m1.elapsed_ns() * 0.95
+
+
+class TestRender:
+    def test_renders_table(self, traced_machine):
+        out = render_trace(traced_machine, title="T")
+        assert out.splitlines()[0] == "T"
+        assert "bitpack:jA:merge" in out
+        assert "share" in out

@@ -1,0 +1,85 @@
+"""RankBitVector: rank correctness across superblock boundaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitpack.rank import RankBitVector
+from repro.errors import ValidationError
+from repro.utils import require
+
+
+class TestConstruction:
+    def test_from_bits_roundtrip(self, rng):
+        bits = rng.integers(0, 2, 777).astype(np.uint8)
+        rv = RankBitVector.from_bits(bits)
+        assert np.array_equal(rv.to_bits(), bits)
+        assert rv.total_ones == bits.sum()
+
+    def test_from_positions(self):
+        rv = RankBitVector.from_positions([0, 5, 9], 10)
+        assert rv.to_bits().tolist() == [1, 0, 0, 0, 0, 1, 0, 0, 0, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RankBitVector.from_bits(np.array([0, 2]))
+        with pytest.raises(ValidationError):
+            RankBitVector.from_positions([10], 10)
+        with pytest.raises(ValidationError):
+            RankBitVector.from_bits(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_pad_bits_ignored(self):
+        # construct from a buffer with garbage pad bits
+        rv = RankBitVector(np.array([0xFF], dtype=np.uint8), 3)
+        assert rv.total_ones == 3
+        assert rv.rank1(3) == 3
+
+
+class TestRank:
+    def test_matches_cumsum_everywhere(self, rng):
+        bits = rng.integers(0, 2, 3000).astype(np.uint8)
+        rv = RankBitVector.from_bits(bits)
+        cum = np.concatenate(([0], np.cumsum(bits)))
+        for pos in range(0, 3001, 7):
+            assert rv.rank1(pos) == cum[pos], pos
+            assert rv.rank0(pos) == pos - cum[pos]
+
+    @pytest.mark.parametrize("pos", [0, 1, 7, 8, 511, 512, 513, 1024])
+    def test_superblock_boundaries(self, pos, rng):
+        bits = np.ones(1100, dtype=np.uint8)
+        rv = RankBitVector.from_bits(bits)
+        assert rv.rank1(pos) == pos
+
+    def test_range(self, rng):
+        bits = rng.integers(0, 2, 600).astype(np.uint8)
+        rv = RankBitVector.from_bits(bits)
+        assert rv.rank1_range(100, 400) == bits[100:400].sum()
+        assert rv.rank1_range(5, 5) == 0
+
+    def test_bounds(self):
+        rv = RankBitVector.from_bits(np.zeros(8, dtype=np.uint8))
+        with pytest.raises(ValidationError):
+            rv.rank1(9)
+        with pytest.raises(ValidationError):
+            rv.get(8)
+        with pytest.raises(ValidationError):
+            rv.rank1_range(4, 2)
+
+    def test_empty(self):
+        rv = RankBitVector.from_bits(np.zeros(0, dtype=np.uint8))
+        assert rv.rank1(0) == 0
+        assert len(rv) == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 1), max_size=1200), st.data())
+    def test_property(self, bits, data):
+        rv = RankBitVector.from_bits(np.asarray(bits, dtype=np.uint8))
+        pos = data.draw(st.integers(0, len(bits)))
+        assert rv.rank1(pos) == sum(bits[:pos])
+
+    def test_memory_overhead_bounded(self, rng):
+        bits = rng.integers(0, 2, 100_000).astype(np.uint8)
+        rv = RankBitVector.from_bits(bits)
+        payload = len(bits) / 8
+        assert rv.memory_bytes() < payload * 1.2  # <=20% overhead

@@ -1,0 +1,111 @@
+"""Wavelet tree: access/rank/range queries vs brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitpack.wavelet import WaveletTree
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def sequence(rng):
+    return rng.integers(0, 23, 1500)
+
+
+@pytest.fixture
+def tree(sequence):
+    return WaveletTree(sequence)
+
+
+class TestAccess:
+    def test_matches_sequence(self, tree, sequence):
+        for i in range(0, len(sequence), 13):
+            assert tree.access(i) == sequence[i]
+
+    def test_bounds(self, tree):
+        with pytest.raises(ValidationError):
+            tree.access(len(tree))
+        with pytest.raises(ValidationError):
+            tree.access(-1)
+
+
+class TestRank:
+    def test_matches_counting(self, tree, sequence, rng):
+        for _ in range(200):
+            s = int(rng.integers(0, 23))
+            p = int(rng.integers(0, len(sequence) + 1))
+            assert tree.rank(s, p) == int((sequence[:p] == s).sum()), (s, p)
+
+    def test_absent_symbol(self, sequence):
+        tree = WaveletTree(sequence, sigma=64)
+        assert tree.rank(60, len(sequence)) == 0
+
+    def test_symbol_bounds(self, tree):
+        with pytest.raises(ValidationError):
+            tree.rank(23, 0)
+        with pytest.raises(ValidationError):
+            tree.rank(-1, 0)
+
+
+class TestRanges:
+    def test_count_range(self, tree, sequence):
+        assert tree.count_range(100, 900, 5) == int((sequence[100:900] == 5).sum())
+
+    def test_distinct_in_range(self, tree, sequence):
+        lo, hi = 37, 1200
+        got = tree.distinct_in_range(lo, hi)
+        vals, counts = np.unique(sequence[lo:hi], return_counts=True)
+        assert got == list(zip(vals.tolist(), counts.tolist()))
+
+    def test_empty_range(self, tree):
+        assert tree.distinct_in_range(10, 10) == []
+        assert tree.count_range(10, 10, 0) == 0
+
+    def test_invalid_range(self, tree):
+        with pytest.raises(ValidationError):
+            tree.count_range(5, 3, 0)
+
+
+class TestEdgeCases:
+    def test_unary_alphabet(self):
+        tree = WaveletTree(np.zeros(7, dtype=np.int64), sigma=1)
+        assert tree.access(6) == 0
+        assert tree.rank(0, 7) == 7
+        assert tree.distinct_in_range(0, 7) == [(0, 7)]
+
+    def test_empty_sequence(self):
+        tree = WaveletTree(np.zeros(0, dtype=np.int64), sigma=4)
+        assert len(tree) == 0
+        assert tree.rank(2, 0) == 0
+
+    def test_power_of_two_alphabet(self, rng):
+        seq = rng.integers(0, 16, 300)
+        tree = WaveletTree(seq, sigma=16)
+        assert tree.bits_per_symbol == 4
+        for i in range(0, 300, 17):
+            assert tree.access(i) == seq[i]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            WaveletTree(np.array([3]), sigma=3)
+        with pytest.raises(ValidationError):
+            WaveletTree(np.array([-1]))
+        with pytest.raises(ValidationError):
+            WaveletTree(np.array([1.5]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 30), max_size=200), st.data())
+    def test_property(self, raw, data):
+        seq = np.asarray(raw, dtype=np.int64)
+        tree = WaveletTree(seq, sigma=31)
+        if raw:
+            i = data.draw(st.integers(0, len(raw) - 1))
+            assert tree.access(i) == raw[i]
+        s = data.draw(st.integers(0, 30))
+        p = data.draw(st.integers(0, len(raw)))
+        assert tree.rank(s, p) == raw[:p].count(s)
+
+    def test_memory_reported(self, tree):
+        assert tree.memory_bytes() > 0

@@ -1,0 +1,61 @@
+"""Shared fixtures: deterministic RNG, executor matrix, graph factories.
+
+``executor`` parametrises most correctness tests across the serial
+executor, simulated machines of several widths, and a real thread
+pool, so every kernel is exercised under every execution regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.csr.builder import ensure_sorted
+from repro.parallel import SerialExecutor, SimulatedMachine, ThreadExecutor
+
+EXECUTOR_SPECS = [
+    ("serial", lambda: SerialExecutor()),
+    ("sim-p1", lambda: SimulatedMachine(1)),
+    ("sim-p2", lambda: SimulatedMachine(2)),
+    ("sim-p3", lambda: SimulatedMachine(3)),
+    ("sim-p7", lambda: SimulatedMachine(7)),
+    ("sim-p64", lambda: SimulatedMachine(64)),
+    ("threads-p4", lambda: ThreadExecutor(4)),
+]
+
+
+@pytest.fixture(params=EXECUTOR_SPECS, ids=[name for name, _ in EXECUTOR_SPECS])
+def executor(request):
+    name, factory = request.param
+    ex = factory()
+    yield ex
+    if isinstance(ex, ThreadExecutor):
+        ex.shutdown()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def sorted_edges(rng):
+    """A medium random multigraph edge list, sorted by (u, v)."""
+    n, m = 200, 3000
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    src, dst = ensure_sorted(src, dst)
+    return src, dst, n
+
+
+@pytest.fixture
+def tiny_graph():
+    """The paper's Table I example graph (10 nodes, upper+lower)."""
+    dense = np.zeros((10, 10), dtype=np.int64)
+    edges = [
+        (0, 5), (1, 6), (1, 7), (2, 7), (3, 8), (3, 9), (4, 9),
+        (5, 0), (6, 1), (7, 1), (7, 2), (8, 2), (8, 3), (9, 3),
+    ]
+    for u, v in edges:
+        dense[u, v] = 1
+    return dense

@@ -1,0 +1,42 @@
+"""GetRowFromCSR [28] — packed-row extraction."""
+
+import numpy as np
+import pytest
+
+from repro.bitpack.fixed import pack_fixed
+from repro.csr.getrow import get_row_from_csr, get_row_gap_decoded
+from repro.errors import CodecError, ValidationError
+
+
+class TestGetRow:
+    def test_extracts_middle_row(self, rng):
+        # jA of a 3-row CSR with degrees 4, 3, 5
+        rows = [np.sort(rng.integers(0, 100, d)).astype(np.uint64) for d in (4, 3, 5)]
+        flat = np.concatenate(rows)
+        bits = pack_fixed(flat, 7)
+        assert np.array_equal(get_row_from_csr(bits, 4, 3, 7), rows[1])
+        assert np.array_equal(get_row_from_csr(bits, 0, 4, 7), rows[0])
+        assert np.array_equal(get_row_from_csr(bits, 7, 5, 7), rows[2])
+
+    def test_empty_row(self):
+        bits = pack_fixed(np.arange(5, dtype=np.uint64), 3)
+        assert get_row_from_csr(bits, 2, 0, 3).shape == (0,)
+
+    def test_negative_degree(self):
+        bits = pack_fixed(np.arange(5, dtype=np.uint64), 3)
+        with pytest.raises(ValidationError):
+            get_row_from_csr(bits, 0, -1, 3)
+
+    def test_row_past_end(self):
+        bits = pack_fixed(np.arange(5, dtype=np.uint64), 3)
+        with pytest.raises(CodecError):
+            get_row_from_csr(bits, 3, 3, 3)
+
+
+class TestGapDecoded:
+    def test_cumsum_restores_absolute_ids(self):
+        # row stored as gaps: absolute [10, 12, 12, 20]
+        gaps = np.array([10, 2, 0, 8], dtype=np.uint64)
+        bits = pack_fixed(gaps, 5)
+        got = get_row_gap_decoded(bits, 0, 4, 5)
+        assert got.tolist() == [10, 12, 12, 20]

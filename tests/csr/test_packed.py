@@ -1,0 +1,167 @@
+"""Algorithm 4 (bit-packed CSR) and its query surface."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitpack.fixed import pack_fixed
+from repro.csr.builder import build_csr_serial, ensure_sorted
+from repro.csr.packed import BitPackedCSR, build_bitpacked_csr, pack_array_parallel
+from repro.errors import QueryError, ValidationError
+from repro.parallel import SimulatedMachine
+
+
+@pytest.fixture
+def graph(sorted_edges):
+    src, dst, n = sorted_edges
+    return build_csr_serial(src, dst, n)
+
+
+class TestPackArrayParallel:
+    def test_identical_to_one_shot_pack(self, executor, rng):
+        values = rng.integers(0, 1 << 9, 1234).astype(np.uint64)
+        got = pack_array_parallel(values, 9, executor)
+        assert got == pack_fixed(values, 9)
+
+    @pytest.mark.parametrize("n", [0, 1, 7, 8, 9, 63, 65])
+    def test_boundary_lengths(self, n):
+        values = np.arange(n, dtype=np.uint64)
+        got = pack_array_parallel(values, 7, SimulatedMachine(4))
+        assert got == pack_fixed(values, 7)
+
+    def test_unaligned_chunk_boundaries(self):
+        """Chunk bit-offsets that are not byte aligned must still blit
+        correctly (width 5, 13 elements over 3 chunks)."""
+        values = np.arange(13, dtype=np.uint64)
+        got = pack_array_parallel(values, 5, SimulatedMachine(3))
+        assert got == pack_fixed(values, 5)
+
+    def test_merge_charged_as_serial_copy(self):
+        machine = SimulatedMachine(4, record_trace=True)
+        pack_array_parallel(np.arange(1000, dtype=np.uint64), 10, machine, label="x")
+        kinds = {rec.label: rec.kind for rec in machine.trace}
+        assert kinds["x:pack"] == "parallel"
+        assert kinds["x:merge"] == "serial"
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            pack_array_parallel(np.zeros((2, 2), dtype=np.int64), 3)
+
+
+class TestBitPackedCSR:
+    def test_roundtrip(self, graph, executor):
+        packed = BitPackedCSR.from_csr(graph, executor)
+        back = packed.to_csr()
+        assert np.array_equal(back.indptr, graph.indptr.astype(np.int64))
+        assert np.array_equal(back.indices, graph.indices.astype(np.int64))
+
+    def test_gap_encoded_roundtrip(self, graph, executor):
+        packed = BitPackedCSR.from_csr(graph, executor, gap_encode=True)
+        assert packed.gap_encoded
+        back = packed.to_csr()
+        assert np.array_equal(back.indices, graph.indices.astype(np.int64))
+
+    def test_offsets_and_degrees(self, graph):
+        packed = BitPackedCSR.from_csr(graph)
+        assert packed.offset(0) == 0
+        assert packed.offset(packed.num_nodes) == graph.num_edges
+        assert np.array_equal(packed.degrees(), graph.degrees())
+        for u in (0, 7, 100):
+            assert packed.degree(u) == graph.degree(u)
+
+    def test_neighbors_match(self, graph):
+        packed = BitPackedCSR.from_csr(graph)
+        gap = BitPackedCSR.from_csr(graph, gap_encode=True)
+        for u in range(0, graph.num_nodes, 17):
+            want = graph.neighbors(u).astype(np.int64).tolist()
+            assert packed.neighbors(u).astype(np.int64).tolist() == want
+            assert gap.neighbors(u).astype(np.int64).tolist() == want
+
+    def test_has_edge_matches(self, graph, rng):
+        packed = BitPackedCSR.from_csr(graph)
+        for _ in range(100):
+            u = int(rng.integers(0, graph.num_nodes))
+            v = int(rng.integers(0, graph.num_nodes))
+            assert packed.has_edge(u, v) == graph.has_edge(u, v)
+
+    def test_query_range_checks(self, graph):
+        packed = BitPackedCSR.from_csr(graph)
+        with pytest.raises(QueryError):
+            packed.neighbors(graph.num_nodes)
+        with pytest.raises(QueryError):
+            packed.degree(-1)
+        with pytest.raises(QueryError):
+            packed.offset(graph.num_nodes + 1)
+
+    def test_memory_smaller_than_raw(self, graph):
+        packed = BitPackedCSR.from_csr(graph)
+        raw = graph.memory_bytes()
+        assert packed.memory_bytes() < raw
+        assert 0 < packed.bits_per_edge() < 64
+
+    def test_gap_encoding_never_larger_on_sorted_rows(self, graph):
+        plain = BitPackedCSR.from_csr(graph)
+        gap = BitPackedCSR.from_csr(graph, gap_encode=True)
+        assert gap.column_width <= plain.column_width
+
+    def test_empty_graph(self):
+        from repro.csr.graph import CSRGraph
+
+        g = CSRGraph(np.array([0]), np.array([], dtype=np.int64))
+        packed = BitPackedCSR.from_csr(g)
+        assert packed.num_edges == 0
+        assert packed.bits_per_edge() == 0.0
+        assert packed.to_csr() == g
+
+    def test_equality(self, graph):
+        a = BitPackedCSR.from_csr(graph)
+        b = BitPackedCSR.from_csr(graph, SimulatedMachine(7))
+        assert a == b
+        c = BitPackedCSR.from_csr(graph, gap_encode=True)
+        assert a != c
+
+    def test_save_load(self, graph, tmp_path):
+        packed = BitPackedCSR.from_csr(graph, gap_encode=True)
+        path = tmp_path / "g.npz"
+        packed.save(path)
+        loaded = BitPackedCSR.load(path)
+        assert loaded == packed
+
+    def test_constructor_size_checks(self, graph):
+        packed = BitPackedCSR.from_csr(graph)
+        with pytest.raises(ValidationError):
+            BitPackedCSR(
+                packed.num_nodes + 1,
+                packed.num_edges,
+                packed.offsets,
+                packed.offset_width,
+                packed.columns,
+                packed.column_width,
+            )
+
+
+class TestEndToEndBuild:
+    def test_build_bitpacked_equals_two_stage(self, sorted_edges, executor):
+        src, dst, n = sorted_edges
+        one_shot = build_bitpacked_csr(src, dst, n, executor)
+        two_stage = BitPackedCSR.from_csr(build_csr_serial(src, dst, n))
+        assert one_shot == two_stage
+
+    def test_sort_option(self, rng):
+        src = rng.integers(0, 20, 100)
+        dst = rng.integers(0, 20, 100)
+        packed = build_bitpacked_csr(src, dst, 20, sort=True)
+        ss, dd = ensure_sorted(src, dst)
+        assert packed == BitPackedCSR.from_csr(build_csr_serial(ss, dd, 20))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 25), st.integers(0, 80), st.integers(1, 16), st.integers(0, 2**31))
+    def test_property_roundtrip(self, n, m, p, seed):
+        rng = np.random.default_rng(seed)
+        src, dst = ensure_sorted(rng.integers(0, n, m), rng.integers(0, n, m))
+        packed = build_bitpacked_csr(src, dst, n, SimulatedMachine(p))
+        back = packed.to_csr()
+        ref = build_csr_serial(src, dst, n)
+        assert np.array_equal(back.indptr, ref.indptr)
+        assert np.array_equal(back.indices, ref.indices)

@@ -1,0 +1,68 @@
+"""Row-parallel SpGEMM ([28] extension) against scipy."""
+
+import numpy as np
+import pytest
+
+from repro.csr.builder import build_csr_serial, ensure_sorted
+from repro.csr.spgemm import spgemm, spgemm_bool, spgemm_count, two_hop_neighbors
+from repro.errors import ValidationError
+from repro.parallel import SimulatedMachine
+
+
+@pytest.fixture
+def graph(rng):
+    n, m = 60, 400
+    src, dst = ensure_sorted(rng.integers(0, n, m), rng.integers(0, n, m))
+    return build_csr_serial(src, dst, n)
+
+
+def scipy_square(graph):
+    sp = graph.to_scipy()
+    out = (sp @ sp).tocsr()
+    out.sort_indices()
+    return out
+
+
+class TestSpgemm:
+    def test_counting_matches_scipy(self, graph, executor):
+        got = spgemm_count(graph, graph, executor)
+        want = scipy_square(graph)
+        assert np.array_equal(got.indptr, want.indptr)
+        assert np.array_equal(got.indices, want.indices)
+        assert np.array_equal(got.values, want.data.astype(np.int64))
+
+    def test_boolean_matches_scipy_pattern(self, graph, executor):
+        got = spgemm_bool(graph, graph, executor)
+        want = scipy_square(graph)
+        assert np.array_equal(got.indptr, want.indptr)
+        assert np.array_equal(got.indices, want.indices)
+        assert got.values is None
+
+    def test_identity_like(self):
+        # path graph 0->1->2: square is 0->2
+        g = build_csr_serial(np.array([0, 1]), np.array([1, 2]), 3)
+        sq = spgemm(g, g)
+        assert sq.neighbors(0).tolist() == [2]
+        assert sq.degree(1) == 0
+
+    def test_mismatched_operands(self, graph):
+        other = build_csr_serial(np.array([0]), np.array([0]), 2)
+        with pytest.raises(ValidationError):
+            spgemm(graph, other)
+
+    def test_empty(self):
+        g = build_csr_serial(np.zeros(0, np.int64), np.zeros(0, np.int64), 4)
+        sq = spgemm(g, g, SimulatedMachine(3))
+        assert sq.num_edges == 0
+
+
+class TestTwoHop:
+    def test_matches_spgemm_row(self, graph, executor):
+        sq = spgemm_bool(graph, graph)
+        for u in (0, 13, 59):
+            got = two_hop_neighbors(graph, u, executor)
+            assert got.tolist() == sq.neighbors(u).tolist()
+
+    def test_isolated_node(self):
+        g = build_csr_serial(np.array([0]), np.array([1]), 3)
+        assert two_hop_neighbors(g, 2).shape == (0,)

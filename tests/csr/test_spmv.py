@@ -1,0 +1,117 @@
+"""Chunked SpMV and PageRank against scipy/networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.csr.builder import build_csr, build_csr_serial, ensure_sorted
+from repro.csr.spmv import pagerank, spmv
+from repro.errors import ValidationError
+from repro.parallel import SimulatedMachine
+
+
+def dedupe(src, dst):
+    keys = (src.astype(np.uint64) << np.uint64(32)) | dst.astype(np.uint64)
+    _, first = np.unique(keys, return_index=True)
+    first.sort()
+    return src[first], dst[first]
+
+
+@pytest.fixture
+def graph(sorted_edges):
+    src, dst, n = sorted_edges
+    return build_csr_serial(src, dst, n)
+
+
+class TestSpmv:
+    def test_matches_scipy(self, graph, rng, executor):
+        x = rng.random(graph.num_nodes)
+        y = spmv(graph, x, executor)
+        assert np.allclose(y, graph.to_scipy() @ x)
+
+    def test_weighted(self, rng):
+        n, m = 80, 600
+        src, dst = ensure_sorted(rng.integers(0, n, m), rng.integers(0, n, m))
+        w = rng.integers(1, 9, m)
+        g = build_csr(src, dst, n, weights=w)
+        x = rng.random(n)
+        assert np.allclose(spmv(g, x, SimulatedMachine(5)), g.to_scipy() @ x)
+
+    def test_empty_rows_and_graph(self):
+        g = build_csr_serial(np.array([3]), np.array([0]), 6)
+        y = spmv(g, np.ones(6))
+        assert y.tolist() == [0, 0, 0, 1, 0, 0]
+        empty = build_csr_serial(np.zeros(0, np.int64), np.zeros(0, np.int64), 4)
+        assert spmv(empty, np.ones(4)).tolist() == [0, 0, 0, 0]
+
+    def test_out_parameter(self, graph, rng):
+        x = rng.random(graph.num_nodes)
+        out = np.zeros(graph.num_nodes)
+        y = spmv(graph, x, out=out)
+        assert y is out
+
+    def test_shape_validation(self, graph):
+        with pytest.raises(ValidationError):
+            spmv(graph, np.ones(graph.num_nodes + 1))
+        with pytest.raises(ValidationError):
+            spmv(graph, np.ones(graph.num_nodes), out=np.zeros(3))
+
+    def test_chunk_boundary_rows(self, rng):
+        """Chunk boundaries mid-row-range must not drop or double edges."""
+        n = 30
+        src = np.repeat(np.arange(n), 3)
+        dst = rng.integers(0, n, 3 * n)
+        src, dst = ensure_sorted(src, dst)
+        g = build_csr_serial(src, dst, n)
+        x = rng.random(n)
+        ref = g.to_scipy() @ x
+        for p in (1, 2, 7, 29, 30, 64):
+            assert np.allclose(spmv(g, x, SimulatedMachine(p)), ref), p
+
+
+class TestPagerank:
+    def test_matches_networkx(self, rng, executor):
+        n, m = 120, 900
+        src, dst = ensure_sorted(rng.integers(0, n, m), rng.integers(0, n, m))
+        src, dst = dedupe(src, dst)
+        g = build_csr_serial(src, dst, n)
+        pr = pagerank(g, executor, tol=1e-12, max_iter=500)
+        nxpr = nx.pagerank(g.to_networkx(), alpha=0.85, tol=1e-12, max_iter=500)
+        ref = np.array([nxpr[i] for i in range(n)])
+        assert np.abs(pr - ref).max() < 1e-8
+
+    def test_sums_to_one(self, graph):
+        pr = pagerank(graph)
+        assert pr.sum() == pytest.approx(1.0, abs=1e-9)
+        assert (pr > 0).all()
+
+    def test_dangling_nodes(self):
+        # star pointing in: center is dangling
+        g = build_csr_serial(np.array([1, 2, 3]), np.array([0, 0, 0]), 4)
+        pr = pagerank(g, tol=1e-12)
+        assert pr.sum() == pytest.approx(1.0, abs=1e-9)
+        assert pr[0] > pr[1]
+
+    def test_empty_graph(self):
+        g = build_csr_serial(np.zeros(0, np.int64), np.zeros(0, np.int64), 0)
+        assert pagerank(g).shape == (0,)
+
+    def test_parameter_validation(self, graph):
+        with pytest.raises(ValidationError):
+            pagerank(graph, damping=1.5)
+        with pytest.raises(ValidationError):
+            pagerank(graph, tol=0)
+
+    def test_celebrity_ranks_high(self, rng):
+        """Preferential-attachment hubs must dominate the ranking."""
+        from repro.datasets import ba_edges
+
+        src, dst, n = ba_edges(400, 3, rng=rng)
+        src, dst = ensure_sorted(src, dst)
+        src, dst = dedupe(src, dst)
+        g = build_csr_serial(src, dst, n)
+        pr = pagerank(g)
+        indeg = np.bincount(dst, minlength=n)
+        top_rank = set(np.argsort(-pr)[:10].tolist())
+        top_deg = set(np.argsort(-indeg)[:10].tolist())
+        assert len(top_rank & top_deg) >= 5

@@ -1,0 +1,106 @@
+"""Streaming CSR builder: log-structured runs, snapshots, finish()."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csr.builder import build_csr_serial, ensure_sorted
+from repro.csr.packed import BitPackedCSR
+from repro.csr.streaming import StreamingCSRBuilder
+from repro.errors import ValidationError
+from repro.parallel import SimulatedMachine
+
+
+def reference(src, dst, n):
+    s, d = ensure_sorted(np.asarray(src), np.asarray(dst))
+    return build_csr_serial(s, d, n)
+
+
+class TestStreaming:
+    def test_single_edges_match_batch_build(self, rng):
+        n, m = 60, 2500
+        src = rng.integers(0, n, m)
+        dst = rng.integers(0, n, m)
+        builder = StreamingCSRBuilder(n, buffer_size=64)
+        for u, v in zip(src.tolist(), dst.tolist()):
+            builder.add_edge(u, v)
+        assert builder.num_edges == m
+        assert builder.finish() == reference(src, dst, n)
+
+    def test_batch_appends(self, rng):
+        n = 40
+        builder = StreamingCSRBuilder(n, buffer_size=100)
+        chunks = [
+            (rng.integers(0, n, k), rng.integers(0, n, k)) for k in (5, 250, 99, 1)
+        ]
+        for cu, cv in chunks:
+            builder.add_edges(cu, cv)
+        all_u = np.concatenate([c[0] for c in chunks])
+        all_v = np.concatenate([c[1] for c in chunks])
+        assert builder.finish() == reference(all_u, all_v, n)
+
+    def test_snapshot_mid_stream_then_continue(self, rng):
+        n = 30
+        builder = StreamingCSRBuilder(n, buffer_size=16)
+        u1, v1 = rng.integers(0, n, 120), rng.integers(0, n, 120)
+        builder.add_edges(u1, v1)
+        snap = builder.snapshot()
+        assert snap == reference(u1, v1, n)
+        u2, v2 = rng.integers(0, n, 75), rng.integers(0, n, 75)
+        builder.add_edges(u2, v2)
+        final = builder.finish()
+        assert final == reference(
+            np.concatenate([u1, u2]), np.concatenate([v1, v2]), n
+        )
+
+    def test_finish_packed(self, rng):
+        n = 25
+        builder = StreamingCSRBuilder(n)
+        u, v = rng.integers(0, n, 300), rng.integers(0, n, 300)
+        builder.add_edges(u, v)
+        packed = builder.finish(SimulatedMachine(4), pack=True)
+        assert isinstance(packed, BitPackedCSR)
+        assert packed.to_csr() == reference(u, v, n)
+
+    def test_duplicates_kept(self):
+        builder = StreamingCSRBuilder(3, buffer_size=2)
+        for _ in range(5):
+            builder.add_edge(0, 1)
+        g = builder.finish()
+        assert g.num_edges == 5
+
+    def test_run_merging_is_logarithmic(self, rng):
+        builder = StreamingCSRBuilder(100, buffer_size=32)
+        builder.add_edges(rng.integers(0, 100, 10_000), rng.integers(0, 100, 10_000))
+        # 10k edges / 32 buffer = 312 flushes; run count must stay log-ish
+        assert len(builder.run_sizes()) <= 16
+
+    def test_validation(self):
+        builder = StreamingCSRBuilder(4)
+        with pytest.raises(ValidationError):
+            builder.add_edge(0, 4)
+        with pytest.raises(ValidationError):
+            builder.add_edges(np.array([0]), np.array([9]))
+        with pytest.raises(ValidationError):
+            StreamingCSRBuilder(4, buffer_size=0)
+        with pytest.raises(ValidationError):
+            StreamingCSRBuilder(2**32)
+
+    def test_empty_builder(self):
+        builder = StreamingCSRBuilder(5)
+        g = builder.finish()
+        assert g.num_nodes == 5 and g.num_edges == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=300),
+        st.integers(1, 50),
+    )
+    def test_property_equivalence(self, edges, buffer_size):
+        builder = StreamingCSRBuilder(10, buffer_size=buffer_size)
+        for u, v in edges:
+            builder.add_edge(u, v)
+        src = np.array([e[0] for e in edges], dtype=np.int64)
+        dst = np.array([e[1] for e in edges], dtype=np.int64)
+        assert builder.finish() == reference(src, dst, 10)

@@ -1,0 +1,61 @@
+"""Parallel transpose vs scipy."""
+
+import numpy as np
+import pytest
+
+from repro.csr.builder import build_csr, build_csr_serial
+from repro.csr.transpose import transpose_csr
+from repro.parallel import SimulatedMachine
+
+
+@pytest.fixture
+def graph(sorted_edges):
+    src, dst, n = sorted_edges
+    return build_csr_serial(src, dst, n)
+
+
+class TestTranspose:
+    def test_matches_scipy(self, graph, executor):
+        got = transpose_csr(graph, executor)
+        want = graph.to_scipy().T.tocsr()
+        want.sort_indices()
+        got_sp = got.to_scipy()
+        got_sp.sum_duplicates()
+        want.sum_duplicates()
+        assert np.array_equal(got_sp.indptr, want.indptr)
+        assert np.array_equal(got_sp.indices, want.indices)
+
+    def test_double_transpose_is_identity(self, graph):
+        back = transpose_csr(transpose_csr(graph))
+        assert np.array_equal(back.indptr.astype(np.int64), graph.indptr)
+        assert np.array_equal(back.indices.astype(np.int64), graph.indices)
+
+    def test_degrees_swap(self, graph):
+        t = transpose_csr(graph)
+        src, dst = graph.edges()
+        assert np.array_equal(t.degrees(), np.bincount(dst, minlength=graph.num_nodes))
+
+    def test_weighted_edges_keep_weights(self, rng):
+        n, m = 50, 300
+        src = np.sort(rng.integers(0, n, m))
+        dst = rng.integers(0, n, m)
+        w = rng.integers(1, 100, m)
+        g = build_csr(src, dst, n, weights=w, sort=True)
+        t = transpose_csr(g, SimulatedMachine(4))
+        assert t.is_weighted
+        # (u, v, w) triples survive with endpoints swapped
+        fw = {}
+        gs, gd = g.edges()
+        for a, b, weight in zip(gs.tolist(), gd.tolist(), g.values.tolist()):
+            fw.setdefault((b, a), []).append(weight)
+        ts, td = t.edges()
+        bw = {}
+        for a, b, weight in zip(ts.tolist(), td.tolist(), t.values.tolist()):
+            bw.setdefault((a, b), []).append(weight)
+        assert {k: sorted(v) for k, v in fw.items()} == {
+            k: sorted(v) for k, v in bw.items()
+        }
+
+    def test_empty(self):
+        g = build_csr_serial(np.zeros(0, np.int64), np.zeros(0, np.int64), 4)
+        assert transpose_csr(g).num_edges == 0

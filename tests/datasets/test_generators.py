@@ -1,0 +1,88 @@
+"""Graph generators: determinism, ranges, and topology fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.ba import ba_edges
+from repro.datasets.er import er_edges
+from repro.datasets.rmat import SOCIAL_RMAT, WEB_RMAT, rmat_edges
+from repro.errors import ValidationError
+
+
+class TestRmat:
+    def test_shapes_and_ranges(self):
+        src, dst, n = rmat_edges(10, 5000, rng=np.random.default_rng(1))
+        assert n == 1024
+        assert src.shape == dst.shape == (5000,)
+        assert src.min() >= 0 and src.max() < n
+        assert dst.min() >= 0 and dst.max() < n
+
+    def test_deterministic_with_seed(self):
+        a = rmat_edges(8, 1000, rng=np.random.default_rng(7))
+        b = rmat_edges(8, 1000, rng=np.random.default_rng(7))
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_social_params_are_skewed(self):
+        """R-MAT with social params must produce a heavier max degree
+        than the uniform control at equal density."""
+        rng = np.random.default_rng(3)
+        src, _, n = rmat_edges(12, 40_000, params=SOCIAL_RMAT, rng=rng)
+        er_src, _, _ = er_edges(n, 40_000, rng=rng)
+        assert np.bincount(src).max() > 3 * np.bincount(er_src, minlength=n).max()
+
+    def test_dedup_and_self_loops(self):
+        rng = np.random.default_rng(5)
+        src, dst, _ = rmat_edges(4, 2000, rng=rng, dedup=True, self_loops=False)
+        assert np.all(src != dst)
+        keys = (src.astype(np.uint64) << np.uint64(32)) | dst.astype(np.uint64)
+        assert np.unique(keys).shape[0] == keys.shape[0]
+
+    def test_param_validation(self):
+        with pytest.raises(ValidationError, match="sum to 1"):
+            rmat_edges(4, 10, params=(0.5, 0.5, 0.5, 0.5))
+        with pytest.raises(ValidationError):
+            rmat_edges(0, 10)
+
+    def test_web_params_valid(self):
+        assert abs(sum(WEB_RMAT) - 1.0) < 1e-9
+
+
+class TestBa:
+    def test_edge_count_and_ranges(self):
+        src, dst, n = ba_edges(500, 3, rng=np.random.default_rng(2))
+        assert n == 500
+        assert src.shape[0] == (500 - 3) * 3
+        assert dst.max() < 500
+
+    def test_attachment_is_preferential(self):
+        """Early nodes accumulate far higher in-degree than late ones."""
+        src, dst, n = ba_edges(2000, 2, rng=np.random.default_rng(4))
+        indeg = np.bincount(dst, minlength=n)
+        early = indeg[:20].mean()
+        late = indeg[-200:].mean()
+        assert early > 5 * late
+
+    def test_targets_always_older(self):
+        src, dst, _ = ba_edges(100, 2, rng=np.random.default_rng(6))
+        assert np.all(dst < src)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ba_edges(3, 3)
+        with pytest.raises(ValidationError):
+            ba_edges(10, 0)
+
+
+class TestEr:
+    def test_uniformity(self):
+        src, dst, n = er_edges(100, 50_000, rng=np.random.default_rng(8))
+        deg = np.bincount(src, minlength=n)
+        assert deg.max() < 3 * deg.mean()
+
+    def test_no_self_loops_flag(self):
+        src, dst, _ = er_edges(10, 5000, rng=np.random.default_rng(9), self_loops=False)
+        assert np.all(src != dst)
+
+    def test_zero_edges(self):
+        src, dst, n = er_edges(10, 0)
+        assert src.size == 0 and n == 10

@@ -1,0 +1,45 @@
+"""Watts-Strogatz generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.ws import ws_edges
+from repro.errors import ValidationError
+
+
+class TestWs:
+    def test_pure_ring(self):
+        src, dst, n = ws_edges(10, 2, 0.0)
+        assert n == 10
+        assert src.shape[0] == 20
+        # node 0 points at 1 and 2
+        assert sorted(dst[src == 0].tolist()) == [1, 2]
+        # wrap-around
+        assert sorted(dst[src == 9].tolist()) == [0, 1]
+
+    def test_out_degree_constant(self, rng):
+        src, dst, n = ws_edges(100, 4, 0.3, rng=rng)
+        assert np.all(np.bincount(src, minlength=n) == 4)
+
+    def test_beta_one_destroys_ring(self, rng):
+        src, dst, _ = ws_edges(1000, 2, 1.0, rng=rng)
+        ring_hits = np.mean((dst - src) % 1000 <= 2)
+        assert ring_hits < 0.2  # almost everything rewired
+
+    def test_beta_zero_deterministic(self):
+        a = ws_edges(20, 3, 0.0)
+        b = ws_edges(20, 3, 0.0)
+        assert np.array_equal(a[1], b[1])
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ws_edges(2, 1, 0.5)
+        with pytest.raises(ValidationError):
+            ws_edges(10, 10, 0.5)
+        with pytest.raises(ValidationError):
+            ws_edges(10, 2, 1.5)
+
+    def test_ids_in_range(self, rng):
+        src, dst, n = ws_edges(64, 3, 0.5, rng=rng)
+        assert src.max() < n and dst.max() < n
+        assert src.min() >= 0 and dst.min() >= 0

@@ -1,0 +1,67 @@
+"""Executor fault behaviour: task exceptions must propagate cleanly."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import SerialExecutor, SimulatedMachine, ThreadExecutor
+
+
+class Boom(RuntimeError):
+    pass
+
+
+def exploding(ctx):
+    raise Boom("kernel failed")
+
+
+def fine(ctx):
+    return "ok"
+
+
+class TestExceptionPropagation:
+    @pytest.mark.parametrize(
+        "factory",
+        [lambda: SerialExecutor(), lambda: SimulatedMachine(3), lambda: ThreadExecutor(3)],
+        ids=["serial", "simulated", "threads"],
+    )
+    def test_parallel_raises(self, factory):
+        ex = factory()
+        try:
+            with pytest.raises(Boom, match="kernel failed"):
+                ex.parallel([fine, exploding, fine])
+        finally:
+            if isinstance(ex, ThreadExecutor):
+                ex.shutdown()
+
+    def test_serial_raises(self):
+        with pytest.raises(Boom):
+            SimulatedMachine(2).serial(exploding)
+
+    def test_locked_raises(self):
+        with pytest.raises(Boom):
+            SimulatedMachine(2).locked([fine, exploding])
+
+    def test_machine_usable_after_failure(self):
+        machine = SimulatedMachine(2)
+        with pytest.raises(Boom):
+            machine.parallel([exploding])
+        # the clock may have advanced partially, but the machine must
+        # keep working for subsequent phases
+        results = machine.parallel([fine, fine])
+        assert results == ["ok", "ok"]
+
+    def test_thread_pool_survives_failure(self):
+        with ThreadExecutor(2) as ex:
+            with pytest.raises(Boom):
+                ex.parallel([exploding] * 4)
+            assert ex.parallel([fine])[0] == "ok"
+
+    def test_builder_error_surfaces_through_executor(self):
+        """A kernel-level validation error keeps its type through the
+        executor machinery."""
+        from repro.csr import build_csr
+        from repro.errors import ValidationError
+
+        with ThreadExecutor(2) as ex:
+            with pytest.raises(ValidationError):
+                build_csr(np.array([0, 1]), np.array([0, 99]), 5, ex)

@@ -1,0 +1,133 @@
+"""Failure injection: malformed inputs must fail loudly, never corrupt.
+
+Each case feeds a plausibly broken input to a public entry point and
+asserts a specific library error (never a numpy internals traceback or
+silent wrong answer).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bitpack import BitArray, pack_fixed, varint_decode
+from repro.csr import BitPackedCSR, build_bitpacked_csr, build_csr
+from repro.csr.io import read_edge_list, read_edge_list_binary
+from repro.errors import (
+    CodecError,
+    FieldOverflowError,
+    NotSortedError,
+    QueryError,
+    ReproError,
+    ValidationError,
+)
+from repro.parallel import SimulatedMachine
+from repro.query import QueryEngine, batch_neighbors
+from repro.temporal import EventList, build_tcsr
+
+
+class TestEdgeListInjection:
+    def test_unsorted_input_never_builds_silently(self, rng):
+        src = rng.integers(0, 50, 200)
+        dst = rng.integers(0, 50, 200)
+        if not np.all(src[:-1] <= src[1:]):
+            with pytest.raises(NotSortedError):
+                build_csr(src, dst, 50)
+
+    def test_node_count_too_small(self):
+        with pytest.raises(ValidationError, match="out of range"):
+            build_csr(np.array([0, 1]), np.array([0, 5]), 3, sort=True)
+
+    def test_ragged_arrays(self):
+        with pytest.raises(ValidationError, match="length"):
+            build_bitpacked_csr(np.array([0, 1]), np.array([0]), 3)
+
+    def test_float_ids(self):
+        with pytest.raises(ValidationError, match="integers"):
+            build_csr(np.array([0.0, 1.0]), np.array([0.0, 1.0]), 2)
+
+
+class TestFileInjection:
+    @pytest.mark.parametrize(
+        "content,pattern",
+        [
+            ("1 2 3\n", "expected"),
+            ("x y\n", "non-integer"),
+            ("-4 2\n", "negative"),
+        ],
+    )
+    def test_bad_text_files(self, tmp_path, content, pattern):
+        path = tmp_path / "bad.txt"
+        path.write_text(content)
+        with pytest.raises(ValidationError, match=pattern):
+            read_edge_list(path)
+
+    def test_binary_garbage(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"\x00" * 40)
+        with pytest.raises(ValidationError):
+            read_edge_list_binary(path)
+
+
+class TestCodecInjection:
+    def test_width_overflow(self):
+        with pytest.raises(FieldOverflowError):
+            pack_fixed(np.array([1 << 20], dtype=np.uint64), 10)
+
+    def test_truncated_varint(self):
+        with pytest.raises(CodecError):
+            varint_decode(np.array([0x80, 0x80], dtype=np.uint8))
+
+    def test_packed_csr_size_lie(self):
+        g = build_bitpacked_csr(np.array([0]), np.array([1]), 2)
+        with pytest.raises(ValidationError):
+            BitPackedCSR(
+                g.num_nodes,
+                g.num_edges + 7,  # inconsistent with the bit array
+                g.offsets,
+                g.offset_width,
+                g.columns,
+                g.column_width,
+            )
+
+    def test_bitarray_read_past_end(self):
+        ba = BitArray.zeros(10)
+        with pytest.raises(ValidationError):
+            ba.read_uint(8, 4)
+
+
+class TestQueryInjection:
+    @pytest.fixture
+    def engine(self):
+        packed = build_bitpacked_csr(np.array([0, 0, 1]), np.array([1, 2, 0]), 3)
+        return QueryEngine(packed, SimulatedMachine(2))
+
+    def test_node_out_of_range(self, engine):
+        with pytest.raises(QueryError):
+            engine.neighbors([0, 99])
+        with pytest.raises(QueryError):
+            engine.has_edges([(0, 99)])
+        with pytest.raises(QueryError):
+            engine.has_edge(99, 0)
+
+    def test_partial_batches_never_execute(self, engine):
+        """A bad id anywhere in the batch must fail before any work."""
+        machine = engine.executor
+        machine.reset()
+        with pytest.raises(QueryError):
+            batch_neighbors(engine.store, [0, 1, 2, -5], machine)
+        assert machine.elapsed_ns() == 0.0
+
+
+class TestTemporalInjection:
+    def test_time_travel_rejected(self):
+        with pytest.raises(NotSortedError):
+            EventList(np.array([0, 0]), np.array([1, 1]), np.array([5, 3]), 2)
+
+    def test_frame_out_of_range_queries(self):
+        ev = EventList(np.array([0]), np.array([1]), np.array([0]), 2)
+        tcsr = build_tcsr(ev)
+        with pytest.raises(ReproError):
+            tcsr.edge_active(0, 1, 99)
+
+    def test_node_universe_mismatch(self):
+        with pytest.raises(ValidationError):
+            EventList(np.array([9]), np.array([0]), np.array([0]), 5)

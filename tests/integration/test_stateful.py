@@ -1,0 +1,134 @@
+"""Hypothesis stateful machines for the mutable structures.
+
+Random interleavings of the full public operation set, checked against
+pure-Python models after every step — the strongest correctness net we
+have for the PMA/PCSR rebalancing logic and the streaming builder's
+run merging.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.csr.builder import build_csr_serial, ensure_sorted
+from repro.csr.streaming import StreamingCSRBuilder
+from repro.pcsr import PackedMemoryArray, PCSRGraph
+
+
+class PMAMachine(RuleBasedStateMachine):
+    """PMA vs a Python set under arbitrary insert/delete interleaving."""
+
+    def __init__(self):
+        super().__init__()
+        self.pma = PackedMemoryArray()
+        self.model: set[int] = set()
+
+    @rule(key=st.integers(0, 120))
+    def insert(self, key):
+        assert self.pma.insert(key) == (key not in self.model)
+        self.model.add(key)
+
+    @rule(key=st.integers(0, 120))
+    def delete(self, key):
+        assert self.pma.delete(key) == (key in self.model)
+        self.model.discard(key)
+
+    @rule(lo=st.integers(0, 120), span=st.integers(0, 60))
+    def scan(self, lo, span):
+        got = self.pma.range_scan(lo, lo + span).tolist()
+        assert got == sorted(k for k in self.model if lo <= k < lo + span)
+
+    @invariant()
+    def contents_match(self):
+        assert self.pma.to_array().tolist() == sorted(self.model)
+        assert len(self.pma) == len(self.model)
+
+    @invariant()
+    def structure_sound(self):
+        self.pma.check_invariants()
+
+
+class PCSRMachine(RuleBasedStateMachine):
+    """PCSR vs an edge-set model."""
+
+    NODES = 9
+
+    def __init__(self):
+        super().__init__()
+        self.graph = PCSRGraph(self.NODES)
+        self.model: set[tuple[int, int]] = set()
+
+    @rule(u=st.integers(0, NODES - 1), v=st.integers(0, NODES - 1))
+    def add(self, u, v):
+        assert self.graph.add_edge(u, v) == ((u, v) not in self.model)
+        self.model.add((u, v))
+
+    @rule(u=st.integers(0, NODES - 1), v=st.integers(0, NODES - 1))
+    def remove(self, u, v):
+        assert self.graph.delete_edge(u, v) == ((u, v) in self.model)
+        self.model.discard((u, v))
+
+    @rule(u=st.integers(0, NODES - 1))
+    def row(self, u):
+        assert self.graph.neighbors(u).tolist() == sorted(
+            v for (x, v) in self.model if x == u
+        )
+
+    @invariant()
+    def counts_match(self):
+        assert self.graph.num_edges == len(self.model)
+
+
+class StreamingMachine(RuleBasedStateMachine):
+    """Streaming builder vs an accumulated edge list."""
+
+    NODES = 12
+
+    @initialize(buffer_size=st.integers(1, 40))
+    def setup(self, buffer_size):
+        self.builder = StreamingCSRBuilder(self.NODES, buffer_size=buffer_size)
+        self.us: list[int] = []
+        self.vs: list[int] = []
+
+    @rule(u=st.integers(0, NODES - 1), v=st.integers(0, NODES - 1))
+    def add_one(self, u, v):
+        self.builder.add_edge(u, v)
+        self.us.append(u)
+        self.vs.append(v)
+
+    @rule(edges=st.lists(st.tuples(st.integers(0, NODES - 1), st.integers(0, NODES - 1)), max_size=30))
+    def add_batch(self, edges):
+        if not edges:
+            return
+        eu = np.array([e[0] for e in edges], dtype=np.int64)
+        ev = np.array([e[1] for e in edges], dtype=np.int64)
+        self.builder.add_edges(eu, ev)
+        self.us.extend(eu.tolist())
+        self.vs.extend(ev.tolist())
+
+    @rule()
+    def snapshot_matches(self):
+        src = np.asarray(self.us, dtype=np.int64)
+        dst = np.asarray(self.vs, dtype=np.int64)
+        src, dst = ensure_sorted(src, dst)
+        assert self.builder.snapshot() == build_csr_serial(src, dst, self.NODES)
+
+    @invariant()
+    def count_matches(self):
+        assert self.builder.num_edges == len(self.us)
+
+
+TestPMAStateful = PMAMachine.TestCase
+TestPMAStateful.settings = settings(max_examples=25, stateful_step_count=40, deadline=None)
+
+TestPCSRStateful = PCSRMachine.TestCase
+TestPCSRStateful.settings = settings(max_examples=25, stateful_step_count=40, deadline=None)
+
+TestStreamingStateful = StreamingMachine.TestCase
+TestStreamingStateful.settings = settings(max_examples=20, stateful_step_count=30, deadline=None)

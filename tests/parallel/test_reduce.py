@@ -1,0 +1,73 @@
+"""Chunked reductions: equivalence with numpy reductions on every executor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.parallel.machine import SimulatedMachine
+from repro.parallel.reduce import chunked_any, chunked_max, chunked_reduce, chunked_sum
+
+
+class TestChunkedSum:
+    def test_matches_numpy(self, executor, rng):
+        a = rng.integers(0, 1000, 777)
+        assert chunked_sum(a, executor) == a.sum()
+
+    def test_empty_is_zero(self, executor):
+        assert chunked_sum(np.zeros(0, dtype=np.int64), executor) == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(-(10**9), 10**9), max_size=200), st.integers(1, 30))
+    def test_property(self, values, p):
+        a = np.asarray(values, dtype=np.int64)
+        assert chunked_sum(a, SimulatedMachine(p)) == int(a.sum())
+
+
+class TestChunkedMax:
+    def test_matches_numpy(self, executor, rng):
+        a = rng.integers(-50, 50, 321)
+        assert chunked_max(a, executor) == a.max()
+
+    def test_empty_sentinel(self, executor):
+        assert chunked_max(np.zeros(0, dtype=np.int64), executor, empty=-1) == -1
+
+
+class TestChunkedAny:
+    def test_finds_needle_in_any_chunk(self):
+        a = np.zeros(100, dtype=np.int64)
+        for pos in (0, 37, 99):
+            b = a.copy()
+            b[pos] = 7
+            assert chunked_any(b, lambda c: bool((c == 7).any()), SimulatedMachine(8))
+
+    def test_absent(self, executor):
+        a = np.arange(50)
+        assert not chunked_any(a, lambda c: bool((c == 999).any()), executor)
+
+    def test_empty_is_false(self, executor):
+        assert not chunked_any(np.zeros(0, dtype=np.int64), lambda c: True, executor)
+
+
+class TestChunkedReduce:
+    def test_combiner_sees_only_nonempty_partials(self):
+        machine = SimulatedMachine(10)  # more procs than items
+        seen = []
+
+        def combine(parts):
+            seen.extend(parts)
+            return sum(parts)
+
+        got = chunked_reduce(np.array([1, 2, 3]), lambda c: int(c.sum()), combine, machine)
+        assert got == 6
+        assert len(seen) <= 3
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            chunked_reduce(np.zeros((2, 2)), sum, sum, SimulatedMachine(2))
+
+    def test_charges_time(self):
+        machine = SimulatedMachine(4)
+        chunked_sum(np.arange(1000), machine)
+        assert machine.elapsed_ns() > 0

@@ -1,0 +1,105 @@
+"""Chunked parallel sample sort: equivalence with np.sort everywhere."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.parallel import SimulatedMachine, ThreadExecutor
+from repro.parallel.sort import parallel_argsort, parallel_sort
+
+
+class TestParallelSort:
+    def test_matches_numpy(self, executor, rng):
+        a = rng.integers(0, 10**6, 4999)
+        assert np.array_equal(parallel_sort(a, executor), np.sort(a))
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 17, 64, 65])
+    @pytest.mark.parametrize("p", [1, 2, 3, 16, 100])
+    def test_edge_sizes(self, n, p, rng):
+        a = rng.integers(0, 50, n)
+        assert np.array_equal(parallel_sort(a, SimulatedMachine(p)), np.sort(a))
+
+    def test_heavy_duplicates(self, rng):
+        """Many equal keys must not straddle splitter boundaries."""
+        a = rng.integers(0, 3, 2000)
+        for p in (2, 7, 32):
+            assert np.array_equal(parallel_sort(a, SimulatedMachine(p)), np.sort(a))
+
+    def test_all_equal(self):
+        a = np.full(500, 7, dtype=np.int64)
+        out = parallel_sort(a, SimulatedMachine(8))
+        assert np.array_equal(out, a)
+
+    def test_already_sorted_and_reversed(self, rng):
+        a = np.arange(1000)
+        assert np.array_equal(parallel_sort(a, SimulatedMachine(5)), a)
+        assert np.array_equal(parallel_sort(a[::-1], SimulatedMachine(5)), a)
+
+    def test_argsort_is_stable(self, rng):
+        a = rng.integers(0, 5, 800)
+        order = parallel_argsort(a, SimulatedMachine(6))
+        ref = np.argsort(a, kind="stable")
+        assert np.array_equal(order, ref)
+
+    def test_thread_backend(self, rng):
+        a = rng.integers(0, 10**4, 20_001)
+        with ThreadExecutor(4) as ex:
+            assert np.array_equal(parallel_sort(a, ex), np.sort(a))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            parallel_sort(np.zeros((2, 2)), SimulatedMachine(2))
+
+    def test_phases_charged(self, rng):
+        machine = SimulatedMachine(4, record_trace=True)
+        parallel_sort(rng.integers(0, 100, 1000), machine)
+        labels = {rec.label for rec in machine.trace}
+        assert {"sort:local", "sort:splitters", "sort:merge", "sort:concat"} <= labels
+
+    def test_sort_scales_in_simulation(self, rng):
+        a = rng.integers(0, 10**9, 200_000)
+        times = {}
+        for p in (1, 16):
+            machine = SimulatedMachine(p)
+            parallel_sort(a, machine)
+            times[p] = machine.elapsed_ns()
+        assert times[16] < times[1] / 4
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(-(10**9), 10**9), max_size=300), st.integers(1, 40))
+    def test_property(self, values, p):
+        a = np.asarray(values, dtype=np.int64)
+        assert np.array_equal(parallel_sort(a, SimulatedMachine(p)), np.sort(a))
+
+
+class TestBuilderIntegration:
+    def test_sorted_build_uses_parallel_sort(self, rng):
+        from repro.csr.builder import build_csr, build_csr_serial, ensure_sorted
+
+        n, m = 100, 2000
+        src = rng.integers(0, n, m)
+        dst = rng.integers(0, n, m)
+        machine = SimulatedMachine(8, record_trace=True)
+        got = build_csr(src, dst, n, machine, sort=True)
+        labels = {rec.label for rec in machine.trace}
+        assert "sort:local" in labels and "build:sort-apply" in labels
+        ss, dd = ensure_sorted(src, dst)
+        assert got == build_csr_serial(ss, dd, n).compact_dtypes()
+
+    def test_weighted_sort_keeps_weights(self, rng):
+        from repro.csr.builder import build_csr
+
+        n, m = 40, 500
+        src = rng.integers(0, n, m)
+        dst = rng.integers(0, n, m)
+        w = np.arange(m)
+        g = build_csr(src, dst, n, SimulatedMachine(4), weights=w, sort=True)
+        # weight i still attached to edge (src[i], dst[i])
+        for i in rng.integers(0, m, 30).tolist():
+            row = g.neighbors(int(src[i]))
+            weights = g.neighbor_weights(int(src[i]))
+            matches = [w_ for v_, w_ in zip(row.tolist(), weights.tolist())
+                       if v_ == dst[i] and w_ == i]
+            assert matches == [i]

@@ -1,0 +1,127 @@
+"""PCSRGraph: dynamic updates vs static CSR snapshots."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csr.builder import build_csr_serial, ensure_sorted
+from repro.errors import QueryError, ValidationError
+from repro.parallel import SimulatedMachine
+from repro.pcsr import PCSRGraph
+from repro.query import GraphStore, QueryEngine
+
+
+@pytest.fixture
+def dedup_edges(sorted_edges):
+    src, dst, n = sorted_edges
+    keys = (src.astype(np.uint64) << np.uint64(32)) | dst.astype(np.uint64)
+    _, first = np.unique(keys, return_index=True)
+    first.sort()
+    return src[first], dst[first], n
+
+
+class TestConstruction:
+    def test_from_edges_matches_csr(self, dedup_edges):
+        src, dst, n = dedup_edges
+        pcsr = PCSRGraph.from_edges(src, dst, n)
+        ref = build_csr_serial(src, dst, n)
+        assert pcsr.num_edges == ref.num_edges
+        for u in range(0, n, 11):
+            assert pcsr.neighbors(u).tolist() == ref.neighbors(u).tolist()
+        assert np.array_equal(pcsr.degrees(), ref.degrees())
+
+    def test_from_csr_roundtrip(self, dedup_edges):
+        src, dst, n = dedup_edges
+        ref = build_csr_serial(src, dst, n)
+        pcsr = PCSRGraph.from_csr(ref)
+        assert pcsr.to_csr() == ref
+
+    def test_duplicate_edges_collapse(self):
+        g = PCSRGraph(4)
+        assert g.add_edge(0, 1)
+        assert not g.add_edge(0, 1)
+        assert g.num_edges == 1
+
+    def test_node_universe_validation(self):
+        with pytest.raises(ValidationError):
+            PCSRGraph(-1)
+        with pytest.raises(ValidationError):
+            PCSRGraph(2**32)
+
+
+class TestDynamics:
+    def test_interleaved_updates_match_rebuilt_csr(self, rng):
+        n = 40
+        g = PCSRGraph(n)
+        ref: set[tuple[int, int]] = set()
+        for step in range(1200):
+            u = int(rng.integers(0, n))
+            v = int(rng.integers(0, n))
+            if rng.random() < 0.65:
+                assert g.add_edge(u, v) == ((u, v) not in ref)
+                ref.add((u, v))
+            else:
+                assert g.delete_edge(u, v) == ((u, v) in ref)
+                ref.discard((u, v))
+            if step % 300 == 0:
+                g.check_invariants()
+        snapshot = g.to_csr()
+        src = np.array(sorted(ref)) if ref else np.zeros((0, 2), dtype=np.int64)
+        if ref:
+            exp = build_csr_serial(src[:, 0], src[:, 1], n)
+            assert snapshot == exp
+        assert g.num_edges == len(ref)
+
+    def test_apply_batch(self):
+        g = PCSRGraph(10)
+        added, deleted = g.apply_batch(
+            additions=(np.array([0, 0, 1]), np.array([1, 2, 0]))
+        )
+        assert (added, deleted) == (3, 0)
+        added, deleted = g.apply_batch(
+            additions=(np.array([0]), np.array([1])),  # duplicate
+            deletions=(np.array([0, 5]), np.array([2, 5])),  # one absent
+        )
+        assert (added, deleted) == (0, 1)
+        assert g.num_edges == 2
+
+    def test_delete_everything(self, dedup_edges):
+        src, dst, n = dedup_edges
+        g = PCSRGraph.from_edges(src, dst, n)
+        for u, v in zip(src.tolist(), dst.tolist()):
+            assert g.delete_edge(u, v)
+        assert g.num_edges == 0
+        assert g.neighbors(0).shape == (0,)
+        g.check_invariants()
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 7), st.integers(0, 7)), max_size=120))
+    def test_property_matches_edge_set(self, ops):
+        g = PCSRGraph(8)
+        ref: set[tuple[int, int]] = set()
+        for add, u, v in ops:
+            if add:
+                g.add_edge(u, v)
+                ref.add((u, v))
+            else:
+                g.delete_edge(u, v)
+                ref.discard((u, v))
+        for u in range(8):
+            assert g.neighbors(u).tolist() == sorted(v for (x, v) in ref if x == u)
+
+
+class TestQueries:
+    def test_satisfies_graph_store(self, dedup_edges):
+        src, dst, n = dedup_edges
+        g = PCSRGraph.from_edges(src[:100], dst[:100], n)
+        assert isinstance(g, GraphStore)
+        engine = QueryEngine(g, SimulatedMachine(3))
+        assert engine.has_edge(int(src[0]), int(dst[0]))
+
+    def test_range_checks(self):
+        g = PCSRGraph(3)
+        with pytest.raises(QueryError):
+            g.add_edge(0, 3)
+        with pytest.raises(QueryError):
+            g.neighbors(-1)

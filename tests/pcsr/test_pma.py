@@ -1,0 +1,141 @@
+"""Packed Memory Array: invariants under arbitrary operation sequences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.pcsr.pma import PackedMemoryArray
+
+
+class TestBasics:
+    def test_insert_contains_delete(self):
+        pma = PackedMemoryArray()
+        assert pma.insert(42)
+        assert 42 in pma
+        assert not pma.insert(42)  # set semantics
+        assert len(pma) == 1
+        assert pma.delete(42)
+        assert 42 not in pma
+        assert not pma.delete(42)
+        assert len(pma) == 0
+
+    def test_sorted_iteration(self, rng):
+        pma = PackedMemoryArray()
+        keys = rng.choice(10_000, size=500, replace=False)
+        for k in keys.tolist():
+            pma.insert(k)
+        assert pma.to_array().tolist() == sorted(keys.tolist())
+        assert list(pma) == sorted(keys.tolist())
+
+    def test_growth_and_shrink(self):
+        pma = PackedMemoryArray()
+        for k in range(2000):
+            pma.insert(k)
+        grown = pma.capacity
+        assert grown >= 2000
+        for k in range(2000):
+            pma.delete(k)
+        assert pma.capacity < grown
+        pma.check_invariants()
+
+    def test_key_bounds(self):
+        pma = PackedMemoryArray()
+        with pytest.raises(ValidationError):
+            pma.insert(-1)
+        with pytest.raises(ValidationError):
+            pma.insert(2**64 - 1)  # reserved marker
+        assert pma.insert(2**64 - 2)  # largest legal key
+        assert 2**64 - 2 in pma
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValidationError):
+            PackedMemoryArray(0)
+
+
+class TestRangeScan:
+    def test_matches_reference(self, rng):
+        pma = PackedMemoryArray()
+        keys = set(rng.integers(0, 1000, 400).tolist())
+        for k in keys:
+            pma.insert(k)
+        for lo, hi in [(0, 1000), (100, 101), (250, 750), (999, 2000), (5, 5)]:
+            want = sorted(k for k in keys if lo <= k < hi)
+            assert pma.range_scan(lo, hi).tolist() == want, (lo, hi)
+
+    def test_empty_range(self):
+        pma = PackedMemoryArray()
+        pma.insert(10)
+        assert pma.range_scan(11, 20).shape == (0,)
+
+
+class TestAdversarialPatterns:
+    def test_ascending_then_descending(self):
+        pma = PackedMemoryArray()
+        for k in range(1000):
+            pma.insert(k)
+        pma.check_invariants()
+        for k in reversed(range(1000)):
+            assert pma.delete(k)
+        assert len(pma) == 0
+
+    def test_all_inserts_at_front(self):
+        """Descending inserts hammer one leaf — the rebalance stress."""
+        pma = PackedMemoryArray()
+        for k in reversed(range(2000)):
+            pma.insert(k)
+            if k % 500 == 0:
+                pma.check_invariants()
+        assert pma.to_array().tolist() == list(range(2000))
+
+    def test_clustered_keys(self, rng):
+        """Keys bunched in a narrow band (like one hub node's edges)."""
+        pma = PackedMemoryArray()
+        base = 1 << 40
+        for k in rng.permutation(3000).tolist():
+            pma.insert(base + k)
+        pma.check_invariants()
+        assert len(pma) == 3000
+
+    def test_delete_reopens_capacity(self):
+        pma = PackedMemoryArray()
+        for k in range(512):
+            pma.insert(k)
+        for k in range(0, 512, 2):
+            pma.delete(k)
+        for k in range(10_000, 10_256):
+            pma.insert(k)
+        pma.check_invariants()
+        assert len(pma) == 512
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(0, 60)),
+            max_size=250,
+        )
+    )
+    def test_property_matches_set(self, ops):
+        pma = PackedMemoryArray()
+        ref: set[int] = set()
+        for is_insert, key in ops:
+            if is_insert:
+                assert pma.insert(key) == (key not in ref)
+                ref.add(key)
+            else:
+                assert pma.delete(key) == (key in ref)
+                ref.discard(key)
+        pma.check_invariants()
+        assert pma.to_array().tolist() == sorted(ref)
+
+    def test_density_stays_bounded(self, rng):
+        pma = PackedMemoryArray()
+        for k in rng.permutation(5000).tolist():
+            pma.insert(k)
+        assert 0.25 <= pma.density() <= 0.92
+
+    def test_memory_accounting(self):
+        pma = PackedMemoryArray()
+        pma.insert(1)
+        assert pma.memory_bytes() == pma.capacity * 9  # uint64 + bool

@@ -1,0 +1,63 @@
+"""Algorithm 9 — the QueryEngine dispatcher."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import EdgeListStore
+from repro.csr.builder import build_csr_serial
+from repro.csr.packed import BitPackedCSR
+from repro.parallel import SimulatedMachine
+from repro.query.engine import QueryEngine
+from repro.query.stores import GraphStore, row_decode_cost
+
+
+@pytest.fixture
+def graph(sorted_edges):
+    src, dst, n = sorted_edges
+    return build_csr_serial(src, dst, n)
+
+
+class TestEngine:
+    def test_all_three_entry_points_agree_with_store(self, graph, rng):
+        engine = QueryEngine(BitPackedCSR.from_csr(graph), SimulatedMachine(4))
+        nodes = rng.integers(0, graph.num_nodes, 20)
+        rows = engine.neighbors(nodes)
+        for u, row in zip(nodes.tolist(), rows):
+            assert np.asarray(row, dtype=np.int64).tolist() == graph.neighbors(u).tolist()
+        qs = [(int(rng.integers(0, graph.num_nodes)), int(rng.integers(0, graph.num_nodes))) for _ in range(20)]
+        exists = engine.has_edges(qs)
+        for (u, v), e in zip(qs, exists):
+            assert e == graph.has_edge(u, v)
+            assert engine.has_edge(u, v) == graph.has_edge(u, v)
+
+    def test_executor_clock_accumulates_across_calls(self, graph):
+        machine = SimulatedMachine(2)
+        engine = QueryEngine(graph, machine)
+        engine.neighbors([0, 1])
+        t1 = machine.elapsed_ns()
+        engine.has_edges([(0, 1)])
+        assert machine.elapsed_ns() > t1
+
+    def test_default_executor_serial(self, graph):
+        engine = QueryEngine(graph)
+        assert engine.executor.p == 1
+
+    def test_works_with_baseline_stores(self, sorted_edges, rng):
+        src, dst, n = sorted_edges
+        graph = build_csr_serial(src, dst, n)
+        engine = QueryEngine(EdgeListStore(src, dst, n), SimulatedMachine(3))
+        for _ in range(15):
+            u = int(rng.integers(0, n))
+            v = int(rng.integers(0, n))
+            assert engine.has_edge(u, v) == graph.has_edge(u, v)
+
+
+class TestStoreProtocol:
+    def test_csr_and_packed_satisfy_protocol(self, graph):
+        assert isinstance(graph, GraphStore)
+        assert isinstance(BitPackedCSR.from_csr(graph), GraphStore)
+
+    def test_row_decode_cost(self, graph):
+        packed = BitPackedCSR.from_csr(graph)
+        assert row_decode_cost(graph, 10) == 10.0
+        assert row_decode_cost(packed, 10) == 10.0 * packed.column_width

@@ -1,0 +1,72 @@
+"""Algorithm 6 — batched neighbourhood queries."""
+
+import numpy as np
+import pytest
+
+from repro.csr.builder import build_csr_serial
+from repro.csr.packed import BitPackedCSR
+from repro.errors import QueryError
+from repro.parallel import SimulatedMachine
+from repro.query.neighbors import batch_neighbors
+
+
+@pytest.fixture
+def graph(sorted_edges):
+    src, dst, n = sorted_edges
+    return build_csr_serial(src, dst, n)
+
+
+@pytest.fixture(params=["csr", "packed", "gap"])
+def store(request, graph):
+    if request.param == "csr":
+        return graph
+    if request.param == "packed":
+        return BitPackedCSR.from_csr(graph)
+    return BitPackedCSR.from_csr(graph, gap_encode=True)
+
+
+class TestBatchNeighbors:
+    def test_matches_pointwise(self, store, graph, rng, executor):
+        queries = rng.integers(0, graph.num_nodes, 60)
+        got = batch_neighbors(store, queries, executor)
+        assert len(got) == 60
+        for u, row in zip(queries.tolist(), got):
+            assert np.asarray(row, dtype=np.int64).tolist() == graph.neighbors(u).tolist()
+
+    def test_duplicate_queries_duplicate_rows(self, store):
+        got = batch_neighbors(store, [3, 3, 3])
+        assert len(got) == 3
+        assert all(np.array_equal(got[0], r) for r in got)
+
+    def test_empty_batch(self, store, executor):
+        assert batch_neighbors(store, [], executor) == []
+
+    def test_invalid_id_rejected_before_execution(self, store):
+        with pytest.raises(QueryError):
+            batch_neighbors(store, [0, store.num_nodes])
+        with pytest.raises(QueryError):
+            batch_neighbors(store, [-1])
+
+    def test_rejects_2d(self, store):
+        with pytest.raises(QueryError):
+            batch_neighbors(store, np.zeros((2, 2), dtype=np.int64))
+
+    def test_simulated_batch_speeds_up(self, store, rng):
+        queries = rng.integers(0, store.num_nodes, 512)
+        times = {}
+        for p in (1, 16):
+            m = SimulatedMachine(p)
+            batch_neighbors(store, queries, m)
+            times[p] = m.elapsed_ns()
+        assert times[16] < times[1]
+
+    def test_packed_decode_charged_more_than_raw(self, graph, rng):
+        """Packed stores pay per-bit decode; the cost model must see it."""
+        packed = BitPackedCSR.from_csr(graph)
+        queries = rng.integers(0, graph.num_nodes, 200)
+        t = {}
+        for name, store in (("csr", graph), ("packed", packed)):
+            m = SimulatedMachine(4)
+            batch_neighbors(store, queries, m)
+            t[name] = m.elapsed_ns()
+        assert t["packed"] > t["csr"]

@@ -1,0 +1,94 @@
+"""CAS index: wavelet-tree temporal queries vs the brute-force oracle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FrameError, QueryError
+from repro.temporal.cas import CASIndex
+from repro.temporal.events import EventList
+from repro.temporal.queries import TemporalStore, batch_edge_active
+
+
+@pytest.fixture
+def stream(rng):
+    n, nev, frames = 30, 700, 9
+    return EventList.from_unsorted(
+        rng.integers(0, n, nev),
+        rng.integers(0, n, nev),
+        rng.integers(0, frames, nev),
+        n,
+    )
+
+
+@pytest.fixture
+def cas(stream):
+    return CASIndex(stream)
+
+
+class TestCorrectness:
+    def test_edge_active_matches_oracle(self, stream, cas, rng):
+        for f in range(stream.num_frames):
+            active = set(stream.active_keys_at(f).tolist())
+            for _ in range(40):
+                u = int(rng.integers(0, stream.num_nodes))
+                v = int(rng.integers(0, stream.num_nodes))
+                assert cas.edge_active(u, v, f) == ((u << 32 | v) in active)
+
+    def test_neighbors_matches_oracle(self, stream, cas):
+        for f in (0, 4, stream.num_frames - 1):
+            u_act, v_act = stream.active_edges_at(f)
+            for u in range(stream.num_nodes):
+                want = sorted(v_act[u_act == u].tolist())
+                assert cas.neighbors_at(u, f).tolist() == want, (u, f)
+
+    def test_agrees_with_other_stores(self, stream, cas, rng):
+        from repro.temporal import EdgeLog, EveLog
+
+        other = EveLog(stream)
+        third = EdgeLog(stream)
+        qs = [
+            (
+                int(rng.integers(0, stream.num_nodes)),
+                int(rng.integers(0, stream.num_nodes)),
+                int(rng.integers(0, stream.num_frames)),
+            )
+            for _ in range(80)
+        ]
+        a = batch_edge_active(cas, qs)
+        b = batch_edge_active(other, qs)
+        c = batch_edge_active(third, qs)
+        assert a.tolist() == b.tolist() == c.tolist()
+
+
+class TestStructure:
+    def test_protocol(self, cas):
+        assert isinstance(cas, TemporalStore)
+
+    def test_vertex_without_events(self, stream):
+        cas = CASIndex(stream)
+        # highest node id may have no outgoing events
+        assert isinstance(cas.edge_active(stream.num_nodes - 1, 0, 0), bool)
+
+    def test_within_frame_parity(self):
+        ev = EventList(np.array([0, 0]), np.array([1, 1]), np.array([0, 0]), 2)
+        cas = CASIndex(ev)
+        assert not cas.edge_active(0, 1, 0)
+
+    def test_empty_stream(self):
+        ev = EventList(
+            np.zeros(0, np.int64), np.zeros(0, np.int64), np.zeros(0, np.int64), 4
+        )
+        cas = CASIndex(ev)
+        assert cas.num_frames == 0
+
+    def test_bounds(self, cas, stream):
+        with pytest.raises(QueryError):
+            cas.edge_active(stream.num_nodes, 0, 0)
+        with pytest.raises(QueryError):
+            cas.edge_active(0, stream.num_nodes, 0)
+        with pytest.raises(FrameError):
+            cas.neighbors_at(0, stream.num_frames)
+
+    def test_memory_reported(self, cas):
+        assert cas.memory_bytes() > 0
+        assert "events=" in repr(cas)

@@ -1,0 +1,106 @@
+"""CET index: time-ordered wavelet queries vs the oracle and peers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FrameError, QueryError
+from repro.temporal.cas import CASIndex
+from repro.temporal.cet import CETIndex
+from repro.temporal.events import EventList
+from repro.temporal.queries import TemporalStore, batch_edge_active
+
+
+@pytest.fixture
+def stream(rng):
+    n, nev, frames = 28, 650, 8
+    return EventList.from_unsorted(
+        rng.integers(0, n, nev),
+        rng.integers(0, n, nev),
+        rng.integers(0, frames, nev),
+        n,
+    )
+
+
+@pytest.fixture
+def cet(stream):
+    return CETIndex(stream)
+
+
+class TestCorrectness:
+    def test_edge_active_matches_oracle(self, stream, cet, rng):
+        for f in range(stream.num_frames):
+            active = set(stream.active_keys_at(f).tolist())
+            for _ in range(40):
+                u = int(rng.integers(0, stream.num_nodes))
+                v = int(rng.integers(0, stream.num_nodes))
+                assert cet.edge_active(u, v, f) == ((u << 32 | v) in active)
+
+    def test_neighbors_matches_oracle(self, stream, cet):
+        for f in (0, 3, stream.num_frames - 1):
+            u_act, v_act = stream.active_edges_at(f)
+            for u in range(stream.num_nodes):
+                want = sorted(v_act[u_act == u].tolist())
+                assert cet.neighbors_at(u, f).tolist() == want, (u, f)
+
+    def test_agrees_with_cas(self, stream, cet, rng):
+        cas = CASIndex(stream)
+        qs = [
+            (
+                int(rng.integers(0, stream.num_nodes)),
+                int(rng.integers(0, stream.num_nodes)),
+                int(rng.integers(0, stream.num_frames)),
+            )
+            for _ in range(60)
+        ]
+        assert batch_edge_active(cet, qs).tolist() == batch_edge_active(cas, qs).tolist()
+
+
+class TestStructure:
+    def test_protocol(self, cet):
+        assert isinstance(cet, TemporalStore)
+
+    def test_never_seen_edge(self, stream, cet):
+        """An edge absent from the whole stream short-circuits."""
+        # craft an edge key guaranteed absent: self-loop of an unused pair
+        for u in range(stream.num_nodes):
+            for v in range(stream.num_nodes):
+                if not any(
+                    (stream.u == u) & (stream.v == v)
+                ):
+                    assert not cet.edge_active(u, v, stream.num_frames - 1)
+                    return
+
+    def test_bounds(self, cet, stream):
+        with pytest.raises(QueryError):
+            cet.edge_active(stream.num_nodes, 0, 0)
+        with pytest.raises(QueryError):
+            cet.edge_active(0, stream.num_nodes, 0)
+        with pytest.raises(FrameError):
+            cet.neighbors_at(0, -1)
+
+    def test_within_frame_parity(self):
+        ev = EventList(np.array([0, 0]), np.array([1, 1]), np.array([0, 0]), 2)
+        assert not CETIndex(ev).edge_active(0, 1, 0)
+
+    def test_memory_reported(self, cet):
+        assert cet.memory_bytes() > 0
+
+
+class TestWaveletSymbolRange:
+    def test_distinct_with_symbol_bounds(self, rng):
+        from repro.bitpack.wavelet import WaveletTree
+
+        seq = rng.integers(0, 50, 800)
+        wt = WaveletTree(seq, sigma=50)
+        lo, hi, s_lo, s_hi = 100, 700, 13, 31
+        got = wt.distinct_in_range(lo, hi, symbol_lo=s_lo, symbol_hi=s_hi)
+        window = seq[lo:hi]
+        window = window[(window >= s_lo) & (window < s_hi)]
+        vals, counts = np.unique(window, return_counts=True)
+        assert got == list(zip(vals.tolist(), counts.tolist()))
+
+    def test_empty_symbol_range(self, rng):
+        from repro.bitpack.wavelet import WaveletTree
+
+        wt = WaveletTree(rng.integers(0, 8, 100), sigma=8)
+        assert wt.distinct_in_range(0, 100, symbol_lo=5, symbol_hi=5) == []

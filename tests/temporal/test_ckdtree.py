@@ -1,0 +1,128 @@
+"""ck^d-tree: 4-D contact tree vs the oracle and peers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FrameError, QueryError, ValidationError
+from repro.temporal.ckdtree import CKDTree
+from repro.temporal.contacts import ContactList
+from repro.temporal.events import EventList
+from repro.temporal.queries import TemporalStore, batch_edge_active
+
+
+@pytest.fixture
+def stream(rng):
+    n, nev, frames = 26, 550, 7
+    return EventList.from_unsorted(
+        rng.integers(0, n, nev),
+        rng.integers(0, n, nev),
+        rng.integers(0, frames, nev),
+        n,
+    )
+
+
+@pytest.fixture
+def tree(stream):
+    return CKDTree.from_events(stream)
+
+
+class TestQueries:
+    def test_edge_active_matches_oracle(self, stream, tree, rng):
+        for f in range(stream.num_frames):
+            active = set(stream.active_keys_at(f).tolist())
+            for _ in range(40):
+                u = int(rng.integers(0, stream.num_nodes))
+                v = int(rng.integers(0, stream.num_nodes))
+                assert tree.edge_active(u, v, f) == ((u << 32 | v) in active)
+
+    def test_neighbors_matches_oracle(self, stream, tree):
+        for f in (0, 3, stream.num_frames - 1):
+            u_act, v_act = stream.active_edges_at(f)
+            for u in range(stream.num_nodes):
+                want = sorted(v_act[u_act == u].tolist())
+                assert tree.neighbors_at(u, f).tolist() == want, (u, f)
+
+    def test_agrees_with_tgcsa(self, stream, tree, rng):
+        from repro.temporal import TGCSA
+
+        peer = TGCSA.from_events(stream)
+        qs = [
+            (
+                int(rng.integers(0, stream.num_nodes)),
+                int(rng.integers(0, stream.num_nodes)),
+                int(rng.integers(0, stream.num_frames)),
+            )
+            for _ in range(60)
+        ]
+        assert (
+            batch_edge_active(tree, qs).tolist()
+            == batch_edge_active(peer, qs).tolist()
+        )
+
+    def test_protocol(self, tree):
+        assert isinstance(tree, TemporalStore)
+
+    def test_bounds(self, tree, stream):
+        with pytest.raises(QueryError):
+            tree.edge_active(stream.num_nodes, 0, 0)
+        with pytest.raises(QueryError):
+            tree.edge_active(0, stream.num_nodes, 0)
+        with pytest.raises(FrameError):
+            tree.neighbors_at(0, stream.num_frames)
+
+
+class TestStructure:
+    def test_open_ended_contact(self):
+        ev = EventList(np.array([0]), np.array([1]), np.array([2]), 2)
+        tree = CKDTree.from_events(ev)
+        assert not tree.edge_active(0, 1, 1)
+        assert tree.edge_active(0, 1, 2)
+
+    def test_interval_boundaries(self):
+        # active exactly on [2, 5)
+        contacts = ContactList(
+            np.array([0]), np.array([1]), np.array([2]), np.array([5]), 2, 6
+        )
+        tree = CKDTree(contacts)
+        expect = {0: False, 1: False, 2: True, 3: True, 4: True, 5: False}
+        for f, want in expect.items():
+            assert tree.edge_active(0, 1, f) == want, f
+
+    def test_empty(self):
+        contacts = ContactList(
+            np.zeros(0, np.int64), np.zeros(0, np.int64),
+            np.zeros(0, np.int64), np.zeros(0, np.int64), 4, 3,
+        )
+        tree = CKDTree(contacts)
+        assert not tree.edge_active(0, 1, 0)
+        assert tree.neighbors_at(0, 0).size == 0
+        assert tree.bits_per_contact() == 0.0
+
+    def test_size_cap(self):
+        contacts = ContactList(
+            np.array([0]), np.array([1]), np.array([0]), np.array([1]),
+            2**16, 3,
+        )
+        with pytest.raises(ValidationError, match="2\\*\\*15"):
+            CKDTree(contacts)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_property_matches_oracle(self, data):
+        n = data.draw(st.integers(2, 10))
+        frames = data.draw(st.integers(1, 6))
+        nev = data.draw(st.integers(0, 40))
+        seed = data.draw(st.integers(0, 2**31))
+        rng = np.random.default_rng(seed)
+        ev = EventList.from_unsorted(
+            rng.integers(0, n, nev), rng.integers(0, n, nev),
+            rng.integers(0, frames, nev), n,
+        )
+        tree = CKDTree.from_events(ev)
+        for f in range(ev.num_frames):
+            active = set(ev.active_keys_at(f).tolist())
+            for u in range(n):
+                want = sorted(int(k & 0xFFFFFFFF) for k in active if (k >> 32) == u)
+                assert tree.neighbors_at(u, f).tolist() == want

@@ -1,0 +1,105 @@
+"""Contacts (interval view) vs the toggle-stream semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FrameError, ValidationError
+from repro.temporal.contacts import (
+    ContactList,
+    contacts_from_events,
+    events_from_contacts,
+)
+from repro.temporal.events import EventList
+
+
+@pytest.fixture
+def stream(rng):
+    n, nev, frames = 25, 400, 9
+    return EventList.from_unsorted(
+        rng.integers(0, n, nev),
+        rng.integers(0, n, nev),
+        rng.integers(0, frames, nev),
+        n,
+    )
+
+
+class TestContactsFromEvents:
+    def test_pairing_rule(self):
+        # toggles at frames 1, 3, 5: active [1,3) and [5, end)
+        ev = EventList(
+            np.array([0, 0, 0]), np.array([1, 1, 1]), np.array([1, 3, 5]), 2
+        )
+        contacts = contacts_from_events(ev)
+        assert len(contacts) == 2
+        assert contacts.ts.tolist() == [1, 5]
+        assert contacts.te.tolist() == [3, ev.num_frames]
+
+    def test_within_frame_parity_cancels(self):
+        ev = EventList(np.array([0, 0]), np.array([1, 1]), np.array([2, 2]), 2)
+        assert len(contacts_from_events(ev)) == 0
+
+    def test_agrees_with_oracle_everywhere(self, stream, rng):
+        contacts = contacts_from_events(stream)
+        for f in range(stream.num_frames):
+            active = set(stream.active_keys_at(f).tolist())
+            for _ in range(30):
+                u = int(rng.integers(0, stream.num_nodes))
+                v = int(rng.integers(0, stream.num_nodes))
+                assert contacts.active_at(u, v, f) == ((u << 32 | v) in active), (u, v, f)
+
+    def test_empty_stream(self):
+        ev = EventList(np.zeros(0, np.int64), np.zeros(0, np.int64), np.zeros(0, np.int64), 3)
+        assert len(contacts_from_events(ev)) == 0
+
+
+class TestRoundTrip:
+    def test_events_contacts_events(self, stream):
+        contacts = contacts_from_events(stream)
+        back = events_from_contacts(contacts)
+        # parity-equivalent: same active set at every frame
+        for f in range(stream.num_frames):
+            assert np.array_equal(back.active_keys_at(f), stream.active_keys_at(f)), f
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(0, 5)),
+        max_size=60,
+    ))
+    def test_property_parity_equivalence(self, triples):
+        if not triples:
+            return
+        u, v, t = (np.array(x, dtype=np.int64) for x in zip(*triples))
+        ev = EventList.from_unsorted(u, v, t, 6)
+        back = events_from_contacts(contacts_from_events(ev))
+        for f in range(ev.num_frames):
+            assert np.array_equal(back.active_keys_at(f), ev.active_keys_at(f)), f
+
+
+class TestContactList:
+    def test_durations_and_lifetime(self):
+        contacts = ContactList(
+            np.array([0, 0]), np.array([1, 1]),
+            np.array([0, 4]), np.array([2, 6]), 2, 6,
+        )
+        assert contacts.durations().tolist() == [2, 2]
+        assert contacts.lifetime_of(0, 1) == 4
+        assert contacts.lifetime_of(1, 0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError, match="ts < te"):
+            ContactList(np.array([0]), np.array([1]), np.array([3]), np.array([3]), 2, 5)
+        with pytest.raises(ValidationError, match="frame range"):
+            ContactList(np.array([0]), np.array([1]), np.array([0]), np.array([9]), 2, 5)
+        with pytest.raises(ValidationError, match="ids"):
+            ContactList(np.array([7]), np.array([1]), np.array([0]), np.array([1]), 2, 5)
+        with pytest.raises(ValidationError, match="equal length"):
+            ContactList(np.array([0]), np.array([1, 1]), np.array([0]), np.array([1]), 2, 5)
+
+    def test_active_at_bounds(self):
+        contacts = ContactList(
+            np.array([0]), np.array([1]), np.array([0]), np.array([2]), 2, 4
+        )
+        with pytest.raises(FrameError):
+            contacts.active_at(0, 1, 4)

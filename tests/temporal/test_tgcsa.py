@@ -1,0 +1,127 @@
+"""TGCSA: suffix-array temporal index vs the oracle and peers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FrameError, QueryError
+from repro.temporal.contacts import ContactList
+from repro.temporal.events import EventList
+from repro.temporal.queries import TemporalStore, batch_edge_active
+from repro.temporal.tgcsa import TGCSA, suffix_array
+
+
+class TestSuffixArray:
+    def test_known_string(self):
+        # banana (as ints): suffixes sorted -> 5,3,1,0,4,2
+        seq = np.array([1, 0, 3, 0, 3, 0])  # b=1, a=0, n=3
+        assert suffix_array(seq).tolist() == [5, 3, 1, 0, 4, 2]
+
+    def test_empty_and_single(self):
+        assert suffix_array(np.zeros(0, dtype=np.int64)).tolist() == []
+        assert suffix_array(np.array([7])).tolist() == [0]
+
+    def test_all_equal(self):
+        # equal symbols: longest suffix is largest, so reverse order
+        assert suffix_array(np.zeros(5, dtype=np.int64)).tolist() == [4, 3, 2, 1, 0]
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 6), max_size=80))
+    def test_property_matches_brute_force(self, raw):
+        seq = np.asarray(raw, dtype=np.int64)
+        sa = suffix_array(seq)
+        brute = sorted(range(len(raw)), key=lambda i: raw[i:])
+        assert sa.tolist() == brute
+
+
+@pytest.fixture
+def stream(rng):
+    n, nev, frames = 24, 500, 7
+    return EventList.from_unsorted(
+        rng.integers(0, n, nev),
+        rng.integers(0, n, nev),
+        rng.integers(0, frames, nev),
+        n,
+    )
+
+
+@pytest.fixture
+def tgcsa(stream):
+    return TGCSA.from_events(stream)
+
+
+class TestQueries:
+    def test_edge_active_matches_oracle(self, stream, tgcsa, rng):
+        for f in range(stream.num_frames):
+            active = set(stream.active_keys_at(f).tolist())
+            for _ in range(40):
+                u = int(rng.integers(0, stream.num_nodes))
+                v = int(rng.integers(0, stream.num_nodes))
+                assert tgcsa.edge_active(u, v, f) == ((u << 32 | v) in active)
+
+    def test_neighbors_matches_oracle(self, stream, tgcsa):
+        for f in (0, 3, stream.num_frames - 1):
+            u_act, v_act = stream.active_edges_at(f)
+            for u in range(stream.num_nodes):
+                want = sorted(v_act[u_act == u].tolist())
+                assert tgcsa.neighbors_at(u, f).tolist() == want, (u, f)
+
+    def test_agrees_with_other_stores(self, stream, tgcsa, rng):
+        from repro.temporal import CASIndex
+
+        cas = CASIndex(stream)
+        qs = [
+            (
+                int(rng.integers(0, stream.num_nodes)),
+                int(rng.integers(0, stream.num_nodes)),
+                int(rng.integers(0, stream.num_frames)),
+            )
+            for _ in range(60)
+        ]
+        assert (
+            batch_edge_active(tgcsa, qs).tolist()
+            == batch_edge_active(cas, qs).tolist()
+        )
+
+    def test_protocol(self, tgcsa):
+        assert isinstance(tgcsa, TemporalStore)
+
+    def test_bounds(self, tgcsa, stream):
+        with pytest.raises(QueryError):
+            tgcsa.edge_active(stream.num_nodes, 0, 0)
+        with pytest.raises(FrameError):
+            tgcsa.neighbors_at(0, stream.num_frames)
+
+
+class TestStructure:
+    def test_open_ended_contacts(self):
+        """An unmatched toggle stays active through the last frame."""
+        ev = EventList(np.array([0]), np.array([1]), np.array([2]), 2)
+        tg = TGCSA.from_events(ev)
+        assert not tg.edge_active(0, 1, 0)
+        assert tg.edge_active(0, 1, 2)
+
+    def test_direct_contact_construction(self):
+        contacts = ContactList(
+            np.array([0, 1]), np.array([1, 0]),
+            np.array([0, 2]), np.array([3, 4]), 2, 4,
+        )
+        tg = TGCSA(contacts)
+        assert tg.edge_active(0, 1, 1)
+        assert not tg.edge_active(0, 1, 3)
+        assert tg.edge_active(1, 0, 3)
+
+    def test_empty_contacts(self):
+        contacts = ContactList(
+            np.zeros(0, np.int64), np.zeros(0, np.int64),
+            np.zeros(0, np.int64), np.zeros(0, np.int64), 5, 3,
+        )
+        tg = TGCSA(contacts)
+        assert not tg.edge_active(0, 1, 0)
+        assert tg.neighbors_at(0, 0).size == 0
+
+    def test_memory_and_compression_reporting(self, tgcsa):
+        assert tgcsa.memory_bytes() > 0
+        compressed = tgcsa.psi_compressed_bytes()
+        assert 0 < compressed < tgcsa._psi.nbytes

@@ -1,0 +1,123 @@
+"""CLI: every command end-to-end through main()."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.csr.packed import BitPackedCSR
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    path = tmp_path / "edges.txt"
+    assert main(["generate", "er", str(path), "--nodes", "50", "--edges", "400"]) == 0
+    return path
+
+
+@pytest.fixture
+def packed_file(tmp_path, edge_file):
+    out = tmp_path / "g.npz"
+    assert main(["build", str(edge_file), str(out), "-p", "4"]) == 0
+    return out
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("kind", ["rmat", "er", "ba", "ws"])
+    def test_kinds(self, tmp_path, kind, capsys):
+        path = tmp_path / f"{kind}.txt"
+        rc = main(["generate", kind, str(path), "--nodes", "64", "--edges", "300"])
+        assert rc == 0
+        assert path.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_standin(self, tmp_path, capsys):
+        path = tmp_path / "s.txt"
+        rc = main(["generate", "standin", str(path), "--name", "webnotredame",
+                   "--scale", "0.002"])
+        assert rc == 0
+        assert "edges" in capsys.readouterr().out
+
+
+class TestBuild:
+    def test_build_roundtrip(self, packed_file, capsys):
+        packed = BitPackedCSR.load(packed_file)
+        assert packed.num_edges == 400
+        rc = main(["info", str(packed_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bits per edge" in out
+
+    def test_build_gap(self, tmp_path, edge_file):
+        out = tmp_path / "gap.npz"
+        assert main(["build", str(edge_file), str(out), "--gap"]) == 0
+        assert BitPackedCSR.load(out).gap_encoded
+
+    def test_build_reports_simulated_time(self, tmp_path, edge_file, capsys):
+        out = tmp_path / "g.npz"
+        main(["build", str(edge_file), str(out), "-p", "8"])
+        assert "simulated ms on p=8" in capsys.readouterr().out
+
+    def test_missing_input(self, tmp_path, capsys):
+        rc = main(["build", str(tmp_path / "nope.txt"), str(tmp_path / "o.npz")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_input(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("1 2 3\n")
+        rc = main(["build", str(bad), str(tmp_path / "o.npz")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_neighbors(self, packed_file, capsys):
+        rc = main(["query", str(packed_file), "neighbors", "0", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "degree" in out
+
+    def test_edge_exit_codes(self, packed_file, capsys):
+        packed = BitPackedCSR.load(packed_file)
+        # find one present edge
+        u = int(np.argmax(packed.degrees()))
+        v = int(packed.neighbors(u)[0])
+        assert main(["query", str(packed_file), "edge", str(u), str(v)]) == 0
+        assert "present" in capsys.readouterr().out
+        # a guaranteed-absent self-edge on an isolated check
+        missing = main(["query", str(packed_file), "edge", str(u), str(u)])
+        out = capsys.readouterr().out
+        if "absent" in out:
+            assert missing == 3
+        else:
+            assert missing == 0
+
+    def test_out_of_range_is_clean_error(self, packed_file, capsys):
+        rc = main(["query", str(packed_file), "neighbors", "9999"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_table2(self, capsys):
+        rc = main(["bench", "table2", "--scale", "0.0003", "--min-edges", "3000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Speed-Up (%)" in out
+        assert "paper CSR" in out
+
+    @pytest.mark.parametrize("artifact", ["fig6", "fig7"])
+    def test_figures(self, artifact, capsys):
+        rc = main(["bench", artifact, "--scale", "0.0003", "--min-edges", "3000"])
+        assert rc == 0
+        assert "Figure" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
