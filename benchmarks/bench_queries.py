@@ -4,19 +4,37 @@ Batched neighbourhood queries (Algorithm 6), batched edge existence
 (Algorithm 7, scan vs the binary-search extension), and single-edge
 row-splitting (Algorithm 8), on the uncompressed and bit-packed CSR,
 with the simulated p-sweep showing the claimed query parallelism.
+
+The scalar-vs-batch comparison times the per-row Python path (one
+``neighbors()``/membership call per query — the pre-vectorisation
+implementation) against the gather-decode batch kernels at a 10k+
+batch, and records the throughput baseline in ``BENCH_queries.json``
+so future PRs can track the query-path trajectory.
 """
+
+import json
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
-from repro.analysis.tables import render_series
+from repro.analysis.tables import render_series, render_table
 from repro.csr import BitPackedCSR, build_csr_serial
 from repro.parallel import SerialExecutor, SimulatedMachine
-from repro.query import QueryEngine, batch_edge_existence, batch_neighbors
+from repro.query import (
+    QueryEngine,
+    RowCache,
+    batch_edge_existence,
+    batch_neighbors,
+)
+from repro.query.edges import _membership
 
 from conftest import report
 
 N_QUERIES = 2_000
+BATCH_N = 10_000  # scalar-vs-batch comparison size (acceptance: >= 10k)
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_queries.json"
 
 
 @pytest.fixture(scope="module")
@@ -70,6 +88,123 @@ def test_single_edge_row_split(benchmark, stores):
         return engine.has_edge(u, v, method="scan")
 
     assert benchmark(run)
+
+
+def _best_of(fn, repeats=3):
+    """Best wall-clock seconds over *repeats* runs (returns last result too)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _scalar_neighbors(store, unodes):
+    """The pre-vectorisation path: one Python-level row call per query."""
+    return [store.neighbors(int(u)) for u in unodes]
+
+
+def _scalar_edges(store, qs, method):
+    """The pre-vectorisation path: one row decode + membership per query."""
+    out = np.zeros(qs.shape[0], dtype=bool)
+    for i in range(qs.shape[0]):
+        row = store.neighbors(int(qs[i, 0]))
+        out[i], _ = _membership(row, int(qs[i, 1]), method)
+    return out
+
+
+def test_scalar_vs_batch_throughput(stores, medium_standin):
+    """Batch kernels must beat the per-query scalar path >= 5x at 10k
+    queries on the packed CSR; the measured baseline is written to
+    BENCH_queries.json."""
+    store = stores["packed"]
+    rng = np.random.default_rng(17)
+    n = medium_standin.num_nodes
+    unodes = rng.integers(0, n, BATCH_N)
+    qs = np.stack([rng.integers(0, n, BATCH_N), rng.integers(0, n, BATCH_N)], axis=1)
+    src, dst = stores["csr"].edges()
+    picks = rng.integers(0, len(src), BATCH_N // 2)
+    qs[: BATCH_N // 2, 0] = src[picks]
+    qs[: BATCH_N // 2, 1] = dst[picks]
+
+    results = {}
+    t_scalar, want_rows = _best_of(lambda: _scalar_neighbors(store, unodes))
+    t_batch, got_rows = _best_of(
+        lambda: batch_neighbors(store, unodes, SerialExecutor())
+    )
+    for want, got in zip(want_rows, got_rows):
+        assert np.array_equal(want, got)
+    results["neighbors"] = {
+        "scalar_s": t_scalar,
+        "batch_s": t_batch,
+        "speedup": t_scalar / t_batch,
+        "batch_queries_per_s": BATCH_N / t_batch,
+    }
+    for method in ("scan", "bisect"):
+        t_scalar, want = _best_of(lambda: _scalar_edges(store, qs, method))
+        t_batch, got = _best_of(
+            lambda: batch_edge_existence(store, qs, SerialExecutor(), method=method)
+        )
+        assert np.array_equal(want, got)
+        results[f"edges-{method}"] = {
+            "scalar_s": t_scalar,
+            "batch_s": t_batch,
+            "speedup": t_scalar / t_batch,
+            "batch_queries_per_s": BATCH_N / t_batch,
+        }
+
+    baseline = {
+        "store": "BitPackedCSR (pokec stand-in, 1/64 scale)",
+        "batch_size": BATCH_N,
+        "graph": {"nodes": int(n), "edges": int(store.num_edges)},
+        "kernels": results,
+    }
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+
+    rows = [
+        [name, f"{r['scalar_s'] * 1e3:.1f}", f"{r['batch_s'] * 1e3:.1f}",
+         f"{r['speedup']:.1f}x", f"{r['batch_queries_per_s']:,.0f}"]
+        for name, r in results.items()
+    ]
+    report(
+        f"Scalar vs batch query kernels (packed CSR, {BATCH_N} queries, wall-clock)",
+        render_table(
+            ["kernel", "scalar ms", "batch ms", "speedup", "batch q/s"],
+            rows,
+            title="vectorised decode vs per-row Python path",
+        ),
+    )
+    for name, r in results.items():
+        assert r["speedup"] >= 5.0, f"{name}: only {r['speedup']:.1f}x"
+
+
+def test_rowcache_hit_rate_on_skewed_traffic(stores, medium_standin):
+    """An LRU row cache over the packed store should absorb most of a
+    Zipf-skewed workload and speed repeated batches up further."""
+    store = stores["packed"]
+    n = medium_standin.num_nodes
+    rng = np.random.default_rng(23)
+    skewed = np.minimum(rng.zipf(1.3, BATCH_N) - 1, n - 1).astype(np.int64)
+    cache = RowCache(store, capacity=200_000)
+    t_cold, _ = _best_of(lambda: batch_neighbors(cache, skewed, SerialExecutor()), 1)
+    t_warm, _ = _best_of(lambda: batch_neighbors(cache, skewed, SerialExecutor()), 3)
+    stats = cache.stats()
+    assert stats.hit_rate > 0.5
+    report(
+        "Row cache on Zipf(1.3) traffic (packed CSR)",
+        render_table(
+            ["metric", "value"],
+            [
+                ["cold batch ms", f"{t_cold * 1e3:.1f}"],
+                ["warm batch ms", f"{t_warm * 1e3:.1f}"],
+                ["hit rate", f"{stats.hit_rate:.1%}"],
+                ["resident elements", stats.elements],
+            ],
+            title=repr(cache)[:100],
+        ),
+    )
 
 
 def test_query_throughput_scaling_report(benchmark, stores, node_queries, edge_queries):

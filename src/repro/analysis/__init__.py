@@ -37,7 +37,13 @@ from .speedup import (
     speedup_ratio,
 )
 from .tables import format_value, render_series, render_table, sparkline
-from .tracing import TraceSummary, render_trace, serial_fraction, summarize_trace
+from .tracing import (
+    TraceSummary,
+    render_cache_stats,
+    render_trace,
+    serial_fraction,
+    summarize_trace,
+)
 
 __all__ = [
     "ShapeCheck",
@@ -74,6 +80,7 @@ __all__ = [
     "build_report",
     "write_report",
     "TraceSummary",
+    "render_cache_stats",
     "render_trace",
     "serial_fraction",
     "summarize_trace",

@@ -16,7 +16,13 @@ from ..errors import ValidationError
 from ..parallel.machine import PhaseRecord, SimulatedMachine
 from .tables import render_table
 
-__all__ = ["TraceSummary", "summarize_trace", "render_trace", "serial_fraction"]
+__all__ = [
+    "TraceSummary",
+    "summarize_trace",
+    "render_trace",
+    "render_cache_stats",
+    "serial_fraction",
+]
 
 
 @dataclass(frozen=True)
@@ -72,6 +78,27 @@ def serial_fraction(machine: SimulatedMachine) -> float:
         rec.duration_ns for rec in machine.trace if rec.kind in ("serial", "locked")
     )
     return serial / total
+
+
+def render_cache_stats(cache, *, title: str = "row cache") -> str:
+    """Hit/miss table for a :class:`~repro.query.rowcache.RowCache`.
+
+    Accepts anything exposing ``stats()`` returning a
+    :class:`~repro.query.rowcache.RowCacheStats`-shaped snapshot, so
+    trace reports can surface query-cache effectiveness next to the
+    phase breakdown.
+    """
+    stats = cache.stats()
+    rows = [
+        ["hits", stats.hits],
+        ["misses", stats.misses],
+        ["hit rate", f"{stats.hit_rate * 100:.1f}%"],
+        ["evictions", stats.evictions],
+        ["resident rows", stats.rows],
+        ["resident elements", stats.elements],
+        ["capacity (elements)", stats.capacity],
+    ]
+    return render_table(["counter", "value"], rows, title=title)
 
 
 def render_trace(machine: SimulatedMachine, *, title: str = "phase breakdown") -> str:

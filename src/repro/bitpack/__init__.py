@@ -28,6 +28,8 @@ from .fixed import (
     pack_fixed,
     packed_nbits,
     read_field,
+    read_fields,
+    unpack_fields_gather,
     unpack_fixed,
     unpack_slice,
 )
@@ -64,6 +66,8 @@ __all__ = [
     "pack_fixed",
     "packed_nbits",
     "read_field",
+    "read_fields",
+    "unpack_fields_gather",
     "unpack_fixed",
     "unpack_slice",
     "Codec",

@@ -73,8 +73,10 @@ class BitArray:
             return False
         return bool(np.array_equal(self._trimmed(), other._trimmed()))
 
-    def __hash__(self):  # pragma: no cover - BitArrays are not dict keys
-        return None  # type: ignore[return-value]
+    # mutable buffer + value equality: properly unhashable, so hash(ba)
+    # raises the standard "unhashable type" instead of a confusing
+    # "an integer is required" from a None-returning __hash__
+    __hash__ = None  # type: ignore[assignment]
 
     def _trimmed(self) -> np.ndarray:
         """Buffer with trailing pad bits forced to zero, for comparisons."""

@@ -7,7 +7,12 @@ CSR from a sorted edge list, Algorithm 4 bit-packs it, and
 
 from .builder import build_csr, build_csr_serial, check_edge_list, ensure_sorted
 from .degree import degree_parallel, degree_serial, run_length_counts
-from .getrow import get_row_from_csr, get_row_gap_decoded
+from .getrow import (
+    get_row_from_csr,
+    get_row_gap_decoded,
+    get_rows_from_csr,
+    get_rows_gap_decoded,
+)
 from .graph import CSRGraph, MemoryBreakdown
 from .io import (
     edge_list_text_size,
@@ -36,6 +41,8 @@ __all__ = [
     "run_length_counts",
     "get_row_from_csr",
     "get_row_gap_decoded",
+    "get_rows_from_csr",
+    "get_rows_gap_decoded",
     "CSRGraph",
     "MemoryBreakdown",
     "edge_list_text_size",

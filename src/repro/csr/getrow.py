@@ -11,10 +11,15 @@ from __future__ import annotations
 import numpy as np
 
 from ..bitpack.bitarray import BitArray
-from ..bitpack.fixed import unpack_slice
+from ..bitpack.fixed import unpack_fields_gather, unpack_slice
 from ..errors import ValidationError
 
-__all__ = ["get_row_from_csr", "get_row_gap_decoded"]
+__all__ = [
+    "get_row_from_csr",
+    "get_row_gap_decoded",
+    "get_rows_from_csr",
+    "get_rows_gap_decoded",
+]
 
 
 def get_row_from_csr(
@@ -41,3 +46,35 @@ def get_row_gap_decoded(
     """
     gaps = get_row_from_csr(bits, starting_index, degree, num_bits)
     return np.cumsum(gaps, dtype=np.uint64)
+
+
+def get_rows_from_csr(
+    bits: BitArray, starting_indices, degrees, num_bits: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Decode many rows in one gather pass — batched ``GetRowFromCSR``.
+
+    Returns ``(flat, offsets)``: the ``uint64`` concatenation of every
+    requested row plus ``int64`` offsets delimiting row *i* as
+    ``flat[offsets[i]:offsets[i + 1]]``.  Identical values to calling
+    :func:`get_row_from_csr` per row.
+    """
+    return unpack_fields_gather(bits, num_bits, starting_indices, degrees)
+
+
+def get_rows_gap_decoded(
+    bits: BitArray, starting_indices, degrees, num_bits: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """As :func:`get_rows_from_csr` for gap-encoded rows.
+
+    The segmented prefix sum restoring absolute ids runs over the whole
+    flat payload at once: a global cumulative sum minus each row's
+    preceding total.
+    """
+    gaps, offsets = unpack_fields_gather(bits, num_bits, starting_indices, degrees)
+    if gaps.size == 0:
+        return gaps, offsets
+    counts = np.diff(offsets)
+    cum = np.cumsum(gaps, dtype=np.uint64)
+    row_start = np.minimum(offsets[:-1], gaps.shape[0] - 1)
+    before = cum[row_start] - gaps[row_start]  # gap total preceding each row
+    return cum - np.repeat(before, counts), offsets

@@ -127,6 +127,37 @@ class CSRGraph:
         self._check_node(u)
         return self.indices[self.indptr[u] : self.indptr[u + 1]]
 
+    def neighbors_batch(self, unodes) -> tuple[np.ndarray, np.ndarray]:
+        """Rows of many nodes via one fancy-indexing gather.
+
+        Returns ``(flat, offsets)``: the concatenation of every
+        requested row (same dtype as :attr:`indices`) plus ``int64``
+        offsets delimiting row *i* as ``flat[offsets[i]:offsets[i+1]]``.
+        """
+        us = np.asarray(unodes, dtype=np.int64)
+        if us.ndim != 1:
+            raise QueryError("node batch must be 1-D")
+        if us.size == 0:
+            return self.indices[:0], np.zeros(1, dtype=np.int64)
+        if int(us.min()) < 0 or int(us.max()) >= self.num_nodes:
+            raise QueryError(f"node ids must lie in [0, {self.num_nodes})")
+        starts = self.indptr[us].astype(np.int64)
+        counts = self.indptr[us + 1].astype(np.int64) - starts
+        offsets = np.zeros(us.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        total = int(offsets[-1])
+        if total == 0:
+            return self.indices[:0], offsets
+        gather = np.arange(total, dtype=np.int64) + np.repeat(
+            starts - offsets[:-1], counts
+        )
+        return self.indices[gather], offsets
+
+    @property
+    def row_dtype(self) -> np.dtype:
+        """Dtype of neighbour rows (the :attr:`indices` dtype)."""
+        return self.indices.dtype
+
     def neighbor_weights(self, u: int) -> np.ndarray:
         """Edge weights aligned with :meth:`neighbors`."""
         if self.values is None:
@@ -196,8 +227,7 @@ class CSRGraph:
             return bool(np.array_equal(self.values, other.values))
         return True
 
-    def __hash__(self):  # pragma: no cover - graphs are not dict keys
-        return None  # type: ignore[return-value]
+    __hash__ = None  # type: ignore[assignment]  # value equality, mutable arrays
 
     def __repr__(self) -> str:
         return (

@@ -16,13 +16,18 @@ import numpy as np
 
 from ..bitpack.bitarray import BitArray, blit_bits
 from ..bitpack.delta import row_gaps
-from ..bitpack.fixed import pack_fixed, read_field, unpack_fixed
+from ..bitpack.fixed import pack_fixed, read_field, unpack_fields_gather, unpack_fixed
 from ..errors import QueryError, ValidationError
 from ..parallel.chunking import chunk_bounds
 from ..parallel.cost import Cost
 from ..parallel.machine import Executor, SerialExecutor, TaskContext
 from ..utils import bits_for_count, bits_for_value, human_bytes, require
-from .getrow import get_row_from_csr, get_row_gap_decoded
+from .getrow import (
+    get_row_from_csr,
+    get_row_gap_decoded,
+    get_rows_from_csr,
+    get_rows_gap_decoded,
+)
 from .graph import CSRGraph
 
 __all__ = ["BitPackedCSR", "pack_array_parallel", "build_bitpacked_csr"]
@@ -214,6 +219,38 @@ class BitPackedCSR:
             return get_row_gap_decoded(self.columns, start, deg, self.column_width)
         return get_row_from_csr(self.columns, start, deg, self.column_width)
 
+    def neighbors_batch(self, unodes) -> tuple[np.ndarray, np.ndarray]:
+        """Decode many rows with one gather per packed array.
+
+        All ``iA`` offset pairs are fetched in a single
+        :func:`unpack_fields_gather` pass (the run ``[u, u + 2)`` of the
+        offset stream is exactly ``iA[u], iA[u + 1]``), then every
+        requested row is decoded from ``jA`` in one more pass.  Returns
+        ``(flat, offsets)`` with row *i* at
+        ``flat[offsets[i]:offsets[i + 1]]`` — values and dtype identical
+        to per-row :meth:`neighbors` calls.
+        """
+        us = np.asarray(unodes, dtype=np.int64)
+        if us.ndim != 1:
+            raise QueryError("node batch must be 1-D")
+        if us.size == 0:
+            return np.zeros(0, dtype=np.uint64), np.zeros(1, dtype=np.int64)
+        if int(us.min()) < 0 or int(us.max()) >= self.num_nodes:
+            raise QueryError(f"node ids must lie in [0, {self.num_nodes})")
+        pairs, _ = unpack_fields_gather(
+            self.offsets, self.offset_width, us, np.full(us.shape[0], 2, np.int64)
+        )
+        starts = pairs[0::2].astype(np.int64)
+        degrees = pairs[1::2].astype(np.int64) - starts
+        if self.gap_encoded:
+            return get_rows_gap_decoded(self.columns, starts, degrees, self.column_width)
+        return get_rows_from_csr(self.columns, starts, degrees, self.column_width)
+
+    @property
+    def row_dtype(self) -> np.dtype:
+        """Dtype of decoded neighbour rows."""
+        return np.dtype(np.uint64)
+
     @property
     def is_weighted(self) -> bool:
         return self.values is not None
@@ -292,8 +329,7 @@ class BitPackedCSR:
             and self.columns == other.columns
         )
 
-    def __hash__(self):  # pragma: no cover
-        return None  # type: ignore[return-value]
+    __hash__ = None  # type: ignore[assignment]  # value equality, mutable buffers
 
     def __repr__(self) -> str:
         return (

@@ -3,13 +3,18 @@
 from .edges import batch_edge_existence, single_edge_exists
 from .engine import QueryEngine
 from .neighbors import batch_neighbors
-from .stores import GraphStore, row_decode_cost
+from .rowcache import RowCache, RowCacheStats
+from .stores import GraphStore, neighbors_batch, row_decode_cost, row_dtype
 
 __all__ = [
     "batch_edge_existence",
     "single_edge_exists",
     "QueryEngine",
     "batch_neighbors",
+    "neighbors_batch",
     "GraphStore",
+    "RowCache",
+    "RowCacheStats",
     "row_decode_cost",
+    "row_dtype",
 ]

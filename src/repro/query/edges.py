@@ -23,11 +23,13 @@ from ..errors import QueryError, ValidationError
 from ..parallel.chunking import chunk_bounds
 from ..parallel.cost import Cost
 from ..parallel.machine import Executor, SerialExecutor, TaskContext
-from .stores import GraphStore, row_decode_cost
+from .stores import GraphStore, neighbors_batch, row_decode_cost
 
 __all__ = ["batch_edge_existence", "single_edge_exists"]
 
 Method = Literal["scan", "bisect"]
+
+_METHODS = ("scan", "bisect")
 
 
 def _membership(row: np.ndarray, v: int, method: Method) -> tuple[bool, int]:
@@ -55,8 +57,21 @@ def batch_edge_existence(
 
     Accepts a sequence of pairs or an ``(m, 2)`` array; returns a bool
     array in query order.
+
+    Each chunk runs one bulk row fetch (:func:`neighbors_batch`) over
+    the chunk's *distinct* sources — hub-skewed workloads repeat heavy
+    rows, so deduplicating bounds the decode at one pass over the
+    touched rows — and one vectorised membership test over the
+    concatenated rows: shifting distinct row *j* by ``j * n`` makes the
+    flat payload globally sorted, so a single ``searchsorted`` resolves
+    every query at once.  Results and cost charges match the per-query
+    scalar path exactly — every query is still billed its own row
+    decode, "scan" still counts elements up to the first hit, "bisect"
+    the binary-search step bound.
     """
     executor = executor or SerialExecutor()
+    if method not in _METHODS:
+        raise ValidationError(f"unknown search method {method!r}")
     qs = np.asarray(edges, dtype=np.int64)
     if qs.ndim != 2 or (qs.size and qs.shape[1] != 2):
         raise QueryError("edge queries must be an (m, 2) array of pairs")
@@ -71,13 +86,33 @@ def batch_edge_existence(
         s, e = int(bounds[cid]), int(bounds[cid + 1])
         decode_units = 0.0
         inspected = 0
-        for i in range(s, e):
-            u, v = int(qs[i, 0]), int(qs[i, 1])
-            row = store.neighbors(u)
-            decode_units += row_decode_cost(store, row.shape[0])
-            present, steps = _membership(row, v, method)
-            out[i] = present
-            inspected += steps
+        if e > s:
+            uniq, uidx = np.unique(qs[s:e, 0], return_inverse=True)
+            flat, offs = neighbors_batch(store, uniq)
+            counts_u = np.diff(offs)
+            counts_q = counts_u[uidx]
+            # billed as if each query decoded its own row, like the
+            # scalar path — the dedup is a wall-clock win only
+            decode_units = row_decode_cost(store, int(counts_q.sum()))
+            # disjoint per-row key ranges keep the concatenation sorted
+            keyed = flat.astype(np.int64) + np.repeat(
+                np.arange(uniq.shape[0], dtype=np.int64) * n, counts_u
+            )
+            keys = qs[s:e, 1] + uidx * n
+            pos = np.searchsorted(keyed, keys, side="left")
+            if keyed.size:
+                hit = keyed[np.minimum(pos, keyed.size - 1)] == keys
+                present = (pos < keyed.size) & hit
+            else:
+                present = np.zeros(e - s, dtype=bool)
+            out[s:e] = present
+            if method == "scan":
+                steps = np.where(present, pos - offs[:-1][uidx] + 1, counts_q)
+            else:  # bisect
+                steps = np.maximum(
+                    1, np.ceil(np.log2(counts_q + 1)).astype(np.int64)
+                )
+            inspected = int(steps.sum())
         ctx.charge(
             Cost(reads=2 * (e - s) + inspected, writes=e - s, bit_ops=decode_units)
         )

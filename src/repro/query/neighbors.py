@@ -1,10 +1,12 @@
 """Algorithm 6 — batched neighbourhood queries.
 
-An array of node ids is split into ``p`` chunks; each processor walks
-its chunk calling the store's row extraction (``GetRowFromCSR`` for
-packed stores) and deposits the row into the shared result vector at
-the query's position — "the result for every node queried will be
-returned as an array of arrays".
+An array of node ids is split into ``p`` chunks; each processor fetches
+its whole chunk through the store's bulk row extraction (one packed
+gather per chunk for the bit-packed CSR instead of a Python-level
+``GetRowFromCSR`` call per query) and deposits the rows into the shared
+result vector at each query's position — "the result for every node
+queried will be returned as an array of arrays".  Results and cost
+charges are identical to the per-row scalar path.
 """
 
 from __future__ import annotations
@@ -17,7 +19,7 @@ from ..errors import QueryError
 from ..parallel.chunking import chunk_bounds
 from ..parallel.cost import Cost
 from ..parallel.machine import Executor, SerialExecutor, TaskContext
-from .stores import GraphStore, row_decode_cost
+from .stores import GraphStore, neighbors_batch, row_decode_cost, row_dtype
 
 __all__ = ["batch_neighbors"]
 
@@ -47,18 +49,21 @@ def batch_neighbors(
     def run_chunk(ctx: TaskContext, cid: int):
         s, e = int(bounds[cid]), int(bounds[cid + 1])
         decode_units = 0.0
-        for i in range(s, e):
-            u = int(queries[i])
-            row = store.neighbors(u)
-            results[i] = row
-            decode_units += row_decode_cost(store, row.shape[0])
+        if e > s:
+            flat, offs = neighbors_batch(store, queries[s:e])
+            for i in range(s, e):
+                results[i] = flat[offs[i - s] : offs[i - s + 1]]
+            # degree-linear decode charge, so the chunk total equals the
+            # per-row sum the scalar path would have charged
+            decode_units = row_decode_cost(store, int(offs[-1]))
         ctx.charge(Cost(reads=e - s, writes=e - s, bit_ops=decode_units))
 
     executor.parallel(
         [_bind(run_chunk, cid) for cid in range(executor.p)],
         label="query:neighbors",
     )
-    return [row if row is not None else np.zeros(0, np.int64) for row in results]
+    empty = np.zeros(0, dtype=row_dtype(store))
+    return [row if row is not None else empty for row in results]
 
 
 def _bind(fn, cid: int):

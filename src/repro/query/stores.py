@@ -11,12 +11,21 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-__all__ = ["GraphStore", "row_decode_cost"]
+__all__ = ["GraphStore", "neighbors_batch", "row_decode_cost", "row_dtype"]
 
 
 @runtime_checkable
 class GraphStore(Protocol):
-    """Minimal query surface of a graph store."""
+    """Minimal query surface of a graph store.
+
+    Stores *may* additionally provide ``neighbors_batch(unodes) ->
+    (flat, offsets)`` — a bulk row fetch returning the concatenation of
+    every requested row plus ``int64`` offsets delimiting row *i* as
+    ``flat[offsets[i]:offsets[i + 1]]`` — and a ``row_dtype``
+    attribute naming the dtype of decoded rows.  Both are optional:
+    the module-level :func:`neighbors_batch` dispatcher falls back to
+    per-row :meth:`neighbors` calls, so baseline stores work unchanged.
+    """
 
     num_nodes: int
     num_edges: int
@@ -36,6 +45,47 @@ class GraphStore(Protocol):
     def memory_bytes(self) -> int:
         """Resident bytes of this structure's payload."""
         ...
+
+
+def row_dtype(store) -> np.dtype:
+    """Dtype of *store*'s decoded neighbour rows.
+
+    Prefers the store's own ``row_dtype`` declaration; packed stores
+    (recognised by ``column_width``) decode to ``uint64``, array-backed
+    stores expose their ``indices`` dtype, and anything else defaults
+    to ``int64``.
+    """
+    declared = getattr(store, "row_dtype", None)
+    if declared is not None:
+        return np.dtype(declared)
+    if getattr(store, "column_width", None) is not None:
+        return np.dtype(np.uint64)
+    indices = getattr(store, "indices", None)
+    if indices is not None:
+        return indices.dtype
+    return np.dtype(np.int64)
+
+
+def neighbors_batch(store, unodes) -> tuple[np.ndarray, np.ndarray]:
+    """Bulk row fetch with a scalar fallback — ``(flat, offsets)``.
+
+    Dispatches to the store's native ``neighbors_batch`` when it has
+    one (one packed read per chunk for :class:`~repro.csr.BitPackedCSR`,
+    one gather for :class:`~repro.csr.CSRGraph`); otherwise loops
+    per-row :meth:`GraphStore.neighbors` calls, so every baseline store
+    keeps working unchanged.  Values and dtype are identical between
+    the two paths.
+    """
+    native = getattr(store, "neighbors_batch", None)
+    if native is not None:
+        return native(unodes)
+    us = np.asarray(unodes, dtype=np.int64)
+    rows = [store.neighbors(int(u)) for u in us]
+    offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+    np.cumsum([r.shape[0] for r in rows], out=offsets[1:])
+    if not rows:
+        return np.zeros(0, dtype=row_dtype(store)), offsets
+    return np.concatenate(rows), offsets
 
 
 def row_decode_cost(store, degree: int) -> float:

@@ -1,0 +1,122 @@
+"""The gather-decode kernel: many field runs in one vectorised pass.
+
+``unpack_fields_gather`` must be bit-exact against the scalar path
+(``unpack_slice`` per run) for every width, run geometry, and stream
+offset — the batched query algorithms stand on this kernel.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitpack.fixed import (
+    pack_fixed,
+    read_field,
+    read_fields,
+    unpack_fields_gather,
+    unpack_slice,
+)
+from repro.errors import CodecError, ValidationError
+
+
+def _reference(bits, width, starts, counts):
+    """Scalar per-run decode — the parity oracle."""
+    runs = [unpack_slice(bits, width, int(s), int(c)) for s, c in zip(starts, counts)]
+    offsets = np.zeros(len(runs) + 1, dtype=np.int64)
+    np.cumsum([r.shape[0] for r in runs], out=offsets[1:])
+    flat = np.concatenate(runs) if runs else np.zeros(0, dtype=np.uint64)
+    return flat, offsets
+
+
+class TestUnpackFieldsGather:
+    @pytest.mark.parametrize("width", [1, 3, 7, 8, 9, 17, 31, 32, 33, 63, 64])
+    def test_matches_scalar_runs(self, width, rng):
+        nfields = 400
+        hi = (1 << width) - 1
+        values = rng.integers(0, hi, nfields, dtype=np.uint64, endpoint=True)
+        bits = pack_fixed(values, width)
+        starts = rng.integers(0, nfields, 50)
+        counts = np.minimum(rng.integers(0, 40, 50), nfields - starts)
+        got_flat, got_offs = unpack_fields_gather(bits, width, starts, counts)
+        want_flat, want_offs = _reference(bits, width, starts, counts)
+        assert got_flat.dtype == np.uint64
+        assert np.array_equal(got_offs, want_offs)
+        assert np.array_equal(got_flat, want_flat)
+
+    def test_empty_request(self, rng):
+        bits = pack_fixed(rng.integers(0, 100, 20), 7)
+        flat, offs = unpack_fields_gather(bits, 7, [], [])
+        assert flat.shape == (0,)
+        assert np.array_equal(offs, [0])
+
+    def test_all_zero_counts(self, rng):
+        bits = pack_fixed(rng.integers(0, 100, 20), 7)
+        flat, offs = unpack_fields_gather(bits, 7, [3, 5, 19], [0, 0, 0])
+        assert flat.shape == (0,)
+        assert np.array_equal(offs, [0, 0, 0, 0])
+
+    def test_overlapping_and_duplicate_runs(self, rng):
+        values = rng.integers(0, 1 << 11, 64, dtype=np.uint64)
+        bits = pack_fixed(values, 11)
+        starts = np.array([0, 0, 10, 5, 63])
+        counts = np.array([64, 64, 20, 30, 1])
+        flat, offs = unpack_fields_gather(bits, 11, starts, counts)
+        want, _ = _reference(bits, 11, starts, counts)
+        assert np.array_equal(flat, want)
+
+    def test_out_of_range_rejected(self, rng):
+        bits = pack_fixed(rng.integers(0, 100, 10), 7)
+        with pytest.raises(CodecError):
+            unpack_fields_gather(bits, 7, [5], [6])
+        with pytest.raises(ValidationError):
+            unpack_fields_gather(bits, 7, [-1], [1])
+        with pytest.raises(ValidationError):
+            unpack_fields_gather(bits, 7, [0], [-1])
+        with pytest.raises(ValidationError):
+            unpack_fields_gather(bits, 7, [0, 1], [1])
+        with pytest.raises(ValidationError):
+            unpack_fields_gather(bits, 0, [0], [1])
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        data=st.data(),
+        width=st.integers(1, 64),
+        nfields=st.integers(1, 120),
+    )
+    def test_property_parity(self, data, width, nfields):
+        values = data.draw(
+            st.lists(
+                st.integers(0, (1 << width) - 1), min_size=nfields, max_size=nfields
+            )
+        )
+        bits = pack_fixed(np.asarray(values, dtype=np.uint64), width)
+        nruns = data.draw(st.integers(0, 8))
+        starts = np.asarray(
+            data.draw(
+                st.lists(st.integers(0, nfields), min_size=nruns, max_size=nruns)
+            ),
+            dtype=np.int64,
+        )
+        counts = np.asarray(
+            [data.draw(st.integers(0, nfields - int(s))) for s in starts],
+            dtype=np.int64,
+        )
+        got_flat, got_offs = unpack_fields_gather(bits, width, starts, counts)
+        want_flat, want_offs = _reference(bits, width, starts, counts)
+        assert np.array_equal(got_offs, want_offs)
+        assert np.array_equal(got_flat, want_flat)
+
+
+class TestReadFields:
+    def test_matches_read_field(self, rng):
+        values = rng.integers(0, 1 << 13, 200, dtype=np.uint64)
+        bits = pack_fixed(values, 13)
+        idx = rng.integers(0, 200, 64)
+        got = read_fields(bits, 13, idx)
+        want = np.array([read_field(bits, 13, int(i)) for i in idx], dtype=np.uint64)
+        assert np.array_equal(got, want)
+
+    def test_empty(self, rng):
+        bits = pack_fixed(rng.integers(0, 8, 4), 3)
+        assert read_fields(bits, 3, []).shape == (0,)

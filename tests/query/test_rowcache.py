@@ -1,0 +1,152 @@
+"""The opt-in LRU row cache wrapping any GraphStore."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tracing import render_cache_stats
+from repro.csr.builder import build_csr_serial
+from repro.csr.packed import BitPackedCSR
+from repro.errors import ValidationError
+from repro.parallel import SimulatedMachine
+from repro.query import (
+    GraphStore,
+    QueryEngine,
+    RowCache,
+    batch_edge_existence,
+    batch_neighbors,
+)
+
+
+@pytest.fixture
+def graph(sorted_edges):
+    src, dst, n = sorted_edges
+    return build_csr_serial(src, dst, n)
+
+
+@pytest.fixture
+def packed(graph):
+    return BitPackedCSR.from_csr(graph)
+
+
+class TestRowCacheBasics:
+    def test_satisfies_store_protocol(self, packed):
+        cache = RowCache(packed, capacity=1000)
+        assert isinstance(cache, GraphStore)
+        assert cache.num_nodes == packed.num_nodes
+        assert cache.num_edges == packed.num_edges
+
+    def test_hit_miss_counters(self, packed):
+        cache = RowCache(packed, capacity=10_000)
+        cache.neighbors(3)
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.neighbors(3)
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.neighbors(4)
+        assert (cache.hits, cache.misses) == (1, 2)
+
+    def test_rows_bit_exact(self, packed, graph, rng):
+        cache = RowCache(packed, capacity=10_000)
+        for u in rng.integers(0, graph.num_nodes, 100).tolist():
+            got = cache.neighbors(u)
+            want = packed.neighbors(u)
+            assert got.dtype == want.dtype
+            assert np.array_equal(got, want)
+
+    def test_has_edge_matches(self, packed, rng):
+        cache = RowCache(packed, capacity=10_000)
+        for _ in range(60):
+            u = int(rng.integers(0, packed.num_nodes))
+            v = int(rng.integers(0, packed.num_nodes))
+            assert cache.has_edge(u, v) == packed.has_edge(u, v)
+
+    def test_eviction_by_elements(self, graph):
+        degs = graph.degrees()
+        heavy = [int(u) for u in np.argsort(degs)[::-1][:5]]
+        cap = int(degs[heavy].sum()) - 1  # can't hold all five
+        cache = RowCache(graph, capacity=cap)
+        for u in heavy:
+            cache.neighbors(u)
+        assert cache.evictions >= 1
+        assert cache.stats().elements <= cap
+
+    def test_oversized_row_served_not_cached(self, graph):
+        u = int(np.argmax(graph.degrees()))
+        cache = RowCache(graph, capacity=graph.degree(u) - 1)
+        row = cache.neighbors(u)
+        assert np.array_equal(row, graph.neighbors(u))
+        assert cache.stats().rows == 0
+
+    def test_clear(self, graph):
+        cache = RowCache(graph, capacity=1000)
+        cache.neighbors(0)
+        cache.clear()
+        s = cache.stats()
+        assert (s.hits, s.misses, s.rows, s.elements) == (0, 0, 0, 0)
+
+    def test_negative_capacity_rejected(self, graph):
+        with pytest.raises(Exception):
+            RowCache(graph, capacity=-1)
+
+
+class TestRowCacheBatch:
+    def test_neighbors_batch_parity_and_single_decode(self, packed, rng):
+        cache = RowCache(packed, capacity=100_000)
+        us = rng.integers(0, packed.num_nodes, 50)
+        us = np.concatenate([us, us])  # duplicates hit within the batch
+        flat, offs = cache.neighbors_batch(us)
+        for i, u in enumerate(us.tolist()):
+            assert np.array_equal(flat[offs[i] : offs[i + 1]], packed.neighbors(u))
+        # second pass is all hits
+        before = cache.misses
+        cache.neighbors_batch(us)
+        assert cache.misses == before
+        assert cache.hits >= len(us)
+
+    def test_rejects_2d(self, packed):
+        cache = RowCache(packed, capacity=100)
+        with pytest.raises(ValidationError):
+            cache.neighbors_batch(np.zeros((2, 2), dtype=np.int64))
+
+    def test_batch_kernels_accept_cache(self, packed, graph, rng):
+        cache = RowCache(packed, capacity=100_000)
+        us = rng.integers(0, graph.num_nodes, 80)
+        rows = batch_neighbors(cache, us, SimulatedMachine(4))
+        for u, row in zip(us.tolist(), rows):
+            assert np.array_equal(row, packed.neighbors(u))
+        qs = np.stack(
+            [rng.integers(0, graph.num_nodes, 80), rng.integers(0, graph.num_nodes, 80)],
+            axis=1,
+        )
+        got = batch_edge_existence(cache, qs, SimulatedMachine(4), method="bisect")
+        want = np.array([graph.has_edge(int(u), int(v)) for u, v in qs])
+        assert np.array_equal(got, want)
+        # edge chunks dedupe sources, so they add >= 1 access per chunk
+        # on top of the 80 neighbour fetches
+        assert cache.hits + cache.misses > 80
+
+
+class TestRowCacheSurfacing:
+    def test_repr_carries_counters(self, packed):
+        cache = RowCache(packed, capacity=500)
+        cache.neighbors(1)
+        cache.neighbors(1)
+        text = repr(cache)
+        assert "hits=1" in text and "misses=1" in text and "hit_rate" in text
+
+    def test_engine_repr_surfaces_cache(self, packed):
+        cache = RowCache(packed, capacity=500)
+        engine = QueryEngine(cache, SimulatedMachine(2))
+        engine.neighbors([0, 1, 0])
+        assert "RowCache" in repr(engine)
+        assert "hits=" in repr(engine)
+
+    def test_render_cache_stats(self, packed):
+        cache = RowCache(packed, capacity=500)
+        cache.neighbors(2)
+        cache.neighbors(2)
+        table = render_cache_stats(cache)
+        assert "hit rate" in table
+        assert "50.0%" in table
+
+    def test_stats_hit_rate_empty(self, packed):
+        assert RowCache(packed, capacity=10).stats().hit_rate == 0.0
