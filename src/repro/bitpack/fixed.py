@@ -13,6 +13,8 @@ share the bit layout of :class:`~repro.bitpack.bitarray.BitArray`.
 
 from __future__ import annotations
 
+import sys
+
 import numpy as np
 
 from ..errors import CodecError, FieldOverflowError, ValidationError
@@ -31,6 +33,12 @@ __all__ = [
 ]
 
 _MAX_FIELD = 64
+
+# The sparse gather regime views its padded byte window as uint64
+# words, which matches the little-bit-order layout only on a
+# little-endian host; big-endian hosts take the dense regime (pure
+# unpackbits), which is layout-independent.
+_LITTLE_ENDIAN = sys.byteorder == "little"
 
 # One weight vector per field width: decoding a (count, width) 0/1 bit
 # matrix is a matvec against [1, 2, 4, ...], so the per-bit Python loop
@@ -136,10 +144,13 @@ def unpack_fields_gather(
     ``np.unpackbits`` over that span decodes every spanned field
     (matmul against the weight vector) and index arithmetic gathers the
     runs out of it.  When the runs are sparse in a large stream, each
-    field is instead read through two aligned 64-bit window loads
-    (gather, shift, mask) so the cost scales with the output size, not
-    the span.  Both regimes return identical values; neither runs a
-    per-run Python loop, which is what makes the batched query
+    field is instead read through two aligned 64-bit loads gathered
+    from a zero-padded copy of just the touched word window, so the
+    per-batch copy is bounded by the span between the first and last
+    requested field — never the whole stream (this regime needs a
+    little-endian host; big-endian hosts use the dense regime for
+    every geometry).  Both regimes return identical values; neither
+    runs a per-run Python loop, which is what makes the batched query
     algorithms (Section V) fast on the packed CSR.
     """
     if not (1 <= width <= _MAX_FIELD):
@@ -170,7 +181,7 @@ def unpack_fields_gather(
     run_local = np.arange(total, dtype=np.int64) - np.repeat(offsets[:-1], c)
     fidx = np.repeat(s, c) + run_local
     span_fields = last_field - first_field
-    if span_fields * width <= 8 * total:
+    if not _LITTLE_ENDIAN or span_fields * width <= 8 * total:
         # dense coverage: one unpackbits over the covered byte span
         # decodes every spanned field, runs are gathered by field index
         bit_lo = first_field * width
@@ -182,13 +193,19 @@ def unpack_fields_gather(
         field_bits = raw[head : head + span_fields * width].reshape(span_fields, width)
         span_values = field_bits.astype(np.uint64) @ _weight_vector(width)
         return span_values[fidx - first_field], offsets
-    # sparse coverage: read each field from two aligned 64-bit windows
-    nbytes = bits.buffer.shape[0]
-    ext = np.zeros((ceil_div(nbytes, 8) + 2) * 8, dtype=np.uint8)
-    ext[:nbytes] = bits.buffer
-    words = ext.view(np.uint64)
+    # sparse coverage: read each field from two aligned 64-bit loads
+    # gathered out of a zero-padded copy of just the word span the
+    # requested fields touch — the copy is bounded by that window,
+    # never the whole stream
     bitpos = fidx * width
-    widx = bitpos >> 6
+    word_lo = (first_field * width) >> 6
+    word_hi = (((last_field - 1) * width) >> 6) + 2  # words[widx + 1] is read
+    byte_lo = word_lo << 3
+    avail = min(bits.buffer.shape[0], word_hi << 3) - byte_lo
+    window = np.zeros((word_hi - word_lo) << 3, dtype=np.uint8)
+    window[:avail] = bits.buffer[byte_lo : byte_lo + avail]
+    words = window.view(np.uint64)
+    widx = (bitpos >> 6) - word_lo
     off = (bitpos & 63).astype(np.uint64)
     lo = words[widx] >> off
     # fields crossing the word boundary borrow their top bits from the

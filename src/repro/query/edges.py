@@ -64,8 +64,14 @@ def batch_edge_existence(
     touched rows — and one vectorised membership test over the
     concatenated rows: shifting distinct row *j* by ``j * n`` makes the
     flat payload globally sorted, so a single ``searchsorted`` resolves
-    every query at once.  Results and cost charges match the per-query
-    scalar path exactly — every query is still billed its own row
+    every query at once.  Rows that are *not* internally sorted are
+    legal (``build_csr`` only enforces source order), so each chunk
+    first checks the shifted concatenation is non-decreasing — which,
+    because the per-row key ranges are disjoint, holds exactly when
+    every fetched row is sorted — and otherwise answers its queries
+    through the scalar :func:`_membership` over the already-decoded
+    rows.  Results and cost charges match the per-query scalar path
+    exactly either way — every query is still billed its own row
     decode, "scan" still counts elements up to the first hit, "bisect"
     the binary-search step bound.
     """
@@ -95,24 +101,38 @@ def batch_edge_existence(
             # scalar path — the dedup is a wall-clock win only
             decode_units = row_decode_cost(store, int(counts_q.sum()))
             # disjoint per-row key ranges keep the concatenation sorted
+            # — provided each row is itself sorted
             keyed = flat.astype(np.int64) + np.repeat(
                 np.arange(uniq.shape[0], dtype=np.int64) * n, counts_u
             )
-            keys = qs[s:e, 1] + uidx * n
-            pos = np.searchsorted(keyed, keys, side="left")
-            if keyed.size:
-                hit = keyed[np.minimum(pos, keyed.size - 1)] == keys
-                present = (pos < keyed.size) & hit
+            if keyed.size > 1 and bool(np.any(keyed[1:] < keyed[:-1])):
+                # some row is internally unsorted: searchsorted would
+                # be wrong, so answer each query with the scalar
+                # membership over the rows already decoded above
+                steps_sum = 0
+                for i in range(e - s):
+                    j = int(uidx[i])
+                    row = flat[offs[j] : offs[j + 1]]
+                    present_i, steps_i = _membership(row, int(qs[s + i, 1]), method)
+                    out[s + i] = present_i
+                    steps_sum += steps_i
+                inspected = steps_sum
             else:
-                present = np.zeros(e - s, dtype=bool)
-            out[s:e] = present
-            if method == "scan":
-                steps = np.where(present, pos - offs[:-1][uidx] + 1, counts_q)
-            else:  # bisect
-                steps = np.maximum(
-                    1, np.ceil(np.log2(counts_q + 1)).astype(np.int64)
-                )
-            inspected = int(steps.sum())
+                keys = qs[s:e, 1] + uidx * n
+                pos = np.searchsorted(keyed, keys, side="left")
+                if keyed.size:
+                    hit = keyed[np.minimum(pos, keyed.size - 1)] == keys
+                    present = (pos < keyed.size) & hit
+                else:
+                    present = np.zeros(e - s, dtype=bool)
+                out[s:e] = present
+                if method == "scan":
+                    steps = np.where(present, pos - offs[:-1][uidx] + 1, counts_q)
+                else:  # bisect
+                    steps = np.maximum(
+                        1, np.ceil(np.log2(counts_q + 1)).astype(np.int64)
+                    )
+                inspected = int(steps.sum())
         ctx.charge(
             Cost(reads=2 * (e - s) + inspected, writes=e - s, bit_ops=decode_units)
         )

@@ -53,7 +53,10 @@ class RowCache:
         on a miss.
     capacity:
         Maximum cached *decoded elements* (neighbour ids) held at once.
-        Rows wider than the whole capacity are served but never cached.
+        Rows wider than the whole capacity are served but never cached,
+        as are empty rows (nothing to amortise).  Cached rows are owned
+        copies, so a resident row never pins the batch decode buffer it
+        was sliced from.
     """
 
     __slots__ = (
@@ -157,10 +160,21 @@ class RowCache:
 
     # -- cache mechanics ------------------------------------------------
     def _insert(self, u: int, row: np.ndarray) -> None:
-        if row.shape[0] > self.capacity:
+        size = row.shape[0]
+        if size == 0 or size > self.capacity:
+            # empty rows cost nothing to re-decode and would sit outside
+            # the element budget forever; oversized rows never fit
             return
+        old = self._rows.pop(u, None)
+        if old is not None:
+            self._elements -= old.shape[0]
+        if row.base is not None:
+            # a slice of a batch decode buffer (or of the CSR's whole
+            # indices array) would pin its backing allocation alive and
+            # break the element/byte accounting — cache an owned copy
+            row = row.copy()
         self._rows[u] = row
-        self._elements += row.shape[0]
+        self._elements += size
         while self._elements > self.capacity:
             _, evicted = self._rows.popitem(last=False)
             self._elements -= evicted.shape[0]

@@ -108,6 +108,57 @@ class TestUnpackFieldsGather:
         assert np.array_equal(got_flat, want_flat)
 
 
+class TestSparseRegime:
+    """Geometries that force the sparse byte-gather regime (tiny output
+    scattered across a long stream) — the kernel must stay bit-exact
+    without ever copying the stream."""
+
+    @pytest.mark.parametrize("width", [1, 3, 7, 8, 13, 31, 33, 63, 64])
+    def test_scattered_fields_parity(self, width, rng):
+        nfields = 5_000
+        hi = (1 << width) - 1
+        values = rng.integers(0, hi, nfields, dtype=np.uint64, endpoint=True)
+        bits = pack_fixed(values, width)
+        # first and last field of the stream plus scattered singles:
+        # span_fields * width is far above 8 * total, so this exercises
+        # the sparse branch for every width
+        starts = np.array([0, 1, 977, 2048, 3333, nfields - 2, nfields - 1])
+        counts = np.array([1, 2, 1, 1, 2, 1, 1])
+        got_flat, got_offs = unpack_fields_gather(bits, width, starts, counts)
+        want_flat, want_offs = _reference(bits, width, starts, counts)
+        assert np.array_equal(got_offs, want_offs)
+        assert np.array_equal(got_flat, want_flat)
+
+    @pytest.mark.parametrize("width", [5, 21, 64])
+    def test_fields_deep_in_stream(self, width, rng):
+        """Runs that start far from field 0 — a windowing/rebasing bug
+        (reading from the stream head instead of the touched bytes)
+        shows up immediately here."""
+        nfields = 4_096
+        hi = (1 << width) - 1
+        values = rng.integers(0, hi, nfields, dtype=np.uint64, endpoint=True)
+        bits = pack_fixed(values, width)
+        starts = np.array([4_000, 4_050, 4_090])
+        counts = np.array([3, 1, 6])
+        got_flat, _ = unpack_fields_gather(bits, width, starts, counts)
+        want_flat, _ = _reference(bits, width, starts, counts)
+        assert np.array_equal(got_flat, want_flat)
+
+    def test_last_field_at_exact_stream_end(self, rng):
+        """The final field may end on the stream's last bit; bytes past
+        the stream are slack and must read as zero."""
+        for width in (1, 7, 9, 63, 64):
+            nfields = 1_025
+            hi = (1 << width) - 1
+            values = rng.integers(0, hi, nfields, dtype=np.uint64, endpoint=True)
+            bits = pack_fixed(values, width)
+            starts = np.array([0, nfields - 1])
+            counts = np.array([1, 1])
+            got_flat, _ = unpack_fields_gather(bits, width, starts, counts)
+            assert got_flat[0] == values[0]
+            assert got_flat[1] == values[nfields - 1]
+
+
 class TestReadFields:
     def test_matches_read_field(self, rng):
         values = rng.integers(0, 1 << 13, 200, dtype=np.uint64)

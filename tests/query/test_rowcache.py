@@ -125,6 +125,62 @@ class TestRowCacheBatch:
         assert cache.hits + cache.misses > 80
 
 
+class TestRowCacheRetention:
+    """Cached rows must be owned copies with honest accounting: a
+    resident row may not pin the batch decode buffer (or the CSR's
+    whole indices array) it was sliced from, empty rows must not leak
+    past the element budget, and re-inserting a resident key must not
+    double-count."""
+
+    def test_cached_rows_are_owned_copies(self, packed, graph, rng):
+        cache = RowCache(packed, capacity=100_000)
+        us = rng.integers(0, packed.num_nodes, 50)
+        cache.neighbors_batch(us)
+        assert cache.stats().rows > 0
+        assert all(row.base is None for row in cache._rows.values())
+        # single-row fills through a view-returning store copy too
+        csr_cache = RowCache(graph, capacity=100_000)
+        csr_cache.neighbors(0)
+        assert all(row.base is None for row in csr_cache._rows.values())
+
+    def test_memory_bytes_matches_resident_elements(self, packed, rng):
+        cache = RowCache(packed, capacity=100_000)
+        us = rng.integers(0, packed.num_nodes, 50)
+        cache.neighbors_batch(us)
+        stats = cache.stats()
+        itemsize = cache.row_dtype.itemsize
+        assert (
+            cache.memory_bytes() - packed.memory_bytes()
+            == stats.elements * itemsize
+        )
+
+    def test_empty_rows_never_cached(self):
+        g = build_csr_serial([0, 0], [1, 2], 4)  # node 3 is isolated
+        cache = RowCache(g, capacity=100)
+        for _ in range(3):
+            assert cache.neighbors(3).shape == (0,)
+        s = cache.stats()
+        assert (s.rows, s.elements, s.misses) == (0, 0, 3)
+
+    def test_capacity_zero_caches_nothing(self):
+        g = build_csr_serial([0, 0], [1, 2], 4)
+        cache = RowCache(g, capacity=0)
+        for u in (0, 1, 3, 0):
+            cache.neighbors(u)
+        s = cache.stats()
+        assert (s.rows, s.elements, s.hits) == (0, 0, 0)
+
+    def test_reinsert_does_not_double_count(self, packed):
+        cache = RowCache(packed, capacity=100_000)
+        row = cache.neighbors(0)
+        if row.shape[0] == 0:
+            pytest.skip("fixture node 0 has no edges")
+        before = cache.stats().elements
+        cache._insert(0, packed.neighbors(0))
+        assert cache.stats().elements == before
+        assert cache.stats().rows == len(cache._rows)
+
+
 class TestRowCacheSurfacing:
     def test_repr_carries_counters(self, packed):
         cache = RowCache(packed, capacity=500)
