@@ -1,0 +1,217 @@
+"""Serving-layer bench — micro-batch coalescing vs one-at-a-time.
+
+The PR-1 kernels made *batches* fast; this bench shows the serving
+subsystem (``repro.serve``) actually converts an open-loop stream of
+independent requests into that batch advantage: coalesced serving must
+beat single-request serving by >= 2x on a 10k-request Zipf workload
+over the packed CSR (acceptance gate), with the baseline recorded in
+``BENCH_serve.json`` under ``BENCH_WRITE_BASELINE=1``.
+
+The wait-window sweep runs on a :class:`ManualClock` — the arrival
+schedule is the timebase — so the batch-size/latency trade-off table
+is fully deterministic: larger windows buy bigger batches (throughput)
+at the price of queueing latency.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.serving import render_serve_report
+from repro.analysis.tables import render_table
+from repro.csr import BitPackedCSR, build_csr_serial
+from repro.query import QueryEngine
+from repro.serve import (
+    DONE,
+    GraphQueryServer,
+    ManualClock,
+    NeighborsRequest,
+    replay,
+    synthetic_workload,
+)
+
+from conftest import report
+
+N_REQUESTS = 10_000
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+# Acceptance bar: coalesced serving at least doubles single-request
+# throughput.  Locally the measured gap is ~10-15x; the 2x floor keeps
+# noisy shared CI runners from flaking while still catching a
+# regression to per-request dispatch.
+SPEEDUP_FLOOR = 2.0
+
+
+@pytest.fixture(scope="module")
+def packed(medium_standin):
+    ds = medium_standin
+    return BitPackedCSR.from_csr(
+        build_csr_serial(ds.sources, ds.destinations, ds.num_nodes)
+    )
+
+
+@pytest.fixture(scope="module")
+def zipf_schedule(medium_standin):
+    """10k-request Zipf workload factory (fresh request objects per call,
+    since submit mutates tickets/timestamps in place)."""
+    ds = medium_standin
+
+    def make(mean_interarrival_ns=0.0, seed=17):
+        return synthetic_workload(
+            N_REQUESTS,
+            ds.num_nodes,
+            kind="zipf",
+            skew=1.2,
+            edge_fraction=0.25,
+            mean_interarrival_ns=mean_interarrival_ns,
+            edges=(ds.sources, ds.destinations),
+            seed=seed,
+        )
+
+    return make
+
+
+def _serve_wallclock(store, workload, *, batch, wait_us, cache_elements=0):
+    server = GraphQueryServer(
+        store,
+        cache_elements=cache_elements,
+        max_batch_size=batch,
+        max_wait_ns=wait_us * 1e3,
+        queue_capacity=1 << 16,
+        policy="block",
+    )
+    t0 = time.perf_counter()
+    for _, request in workload:
+        server.submit(request)
+    server.drain()
+    return server, time.perf_counter() - t0
+
+
+def test_coalesced_vs_single_request_throughput(packed, zipf_schedule):
+    """The tentpole gate: coalescing >= 2x single-request serving, with
+    replies spot-checked bit-exact against direct QueryEngine calls."""
+    single_srv, single_s = _serve_wallclock(
+        packed, zipf_schedule(), batch=1, wait_us=0.0
+    )
+    coal_srv, coal_s = _serve_wallclock(
+        packed, zipf_schedule(), batch=256, wait_us=500.0
+    )
+    single = single_srv.snapshot(elapsed_s=single_s)
+    coal = coal_srv.snapshot(elapsed_s=coal_s)
+    assert single.completed == coal.completed == N_REQUESTS
+    speedup = coal.throughput_rps / single.throughput_rps
+
+    baseline = {
+        "workload": f"zipf(1.2), {N_REQUESTS} requests, 25% edge queries",
+        "store": repr(packed),
+        "single_request": {
+            "seconds": single_s,
+            "requests_per_s": single.throughput_rps,
+        },
+        "coalesced": {
+            "max_batch": 256,
+            "wait_us": 500.0,
+            "seconds": coal_s,
+            "requests_per_s": coal.throughput_rps,
+            "mean_batch_size": coal.mean_batch_size,
+            "duplicates_coalesced": coal.duplicates_coalesced,
+        },
+        "speedup": speedup,
+    }
+    if os.environ.get("BENCH_WRITE_BASELINE") or not BASELINE_PATH.exists():
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+
+    report(
+        f"Serving throughput: coalesced vs single-request ({N_REQUESTS} Zipf requests)",
+        render_table(
+            ["mode", "batch", "seconds", "req/s"],
+            [
+                ["single-request", 1, f"{single_s:.3f}",
+                 f"{single.throughput_rps:,.0f}"],
+                ["coalesced", 256, f"{coal_s:.3f}",
+                 f"{coal.throughput_rps:,.0f}"],
+            ],
+            title=f"coalesced speedup {speedup:.1f}x (floor {SPEEDUP_FLOOR}x)",
+        ),
+    )
+    assert speedup >= SPEEDUP_FLOOR, f"coalescing only {speedup:.2f}x"
+
+
+def test_serving_replies_bit_exact_sample(packed, zipf_schedule):
+    """Every reply of a served workload equals the direct engine answer."""
+    engine = QueryEngine(packed)
+    server = GraphQueryServer(
+        packed, max_batch_size=128, max_wait_ns=0.0, queue_capacity=1 << 16
+    )
+    slots = [server.submit(req) for _, req in zipf_schedule(seed=43)[:2_000]]
+    server.drain()
+    for slot in slots:
+        assert slot.status == DONE
+        req = slot.request
+        if isinstance(req, NeighborsRequest):
+            assert np.array_equal(slot.result(), engine.neighbors([req.node])[0])
+        else:
+            assert slot.result() == bool(engine.has_edges([(req.u, req.v)])[0])
+
+
+def test_batch_wait_latency_tradeoff(packed, zipf_schedule):
+    """Deterministic virtual-time sweep: larger wait windows buy larger
+    batches at a queueing-latency cost (the serving layer's knob)."""
+    rows = []
+    batch_means, p95s = [], []
+    for wait_us in (0.0, 10.0, 50.0, 200.0, 1000.0):
+        clock = ManualClock()
+        server = GraphQueryServer(
+            packed,
+            max_batch_size=256,
+            max_wait_ns=wait_us * 1e3,
+            queue_capacity=1 << 16,
+            clock=clock,
+        )
+        replay(server, zipf_schedule(mean_interarrival_ns=1_000.0, seed=31))
+        snap = server.snapshot()
+        assert snap.completed == N_REQUESTS
+        rows.append([
+            f"{wait_us:.0f}",
+            f"{snap.mean_batch_size:.1f}",
+            f"{snap.wait_ns_p50 / 1e3:.1f}",
+            f"{snap.wait_ns_p95 / 1e3:.1f}",
+            f"{snap.latency_ns_p95 / 1e3:.1f}",
+            snap.batches,
+        ])
+        batch_means.append(snap.mean_batch_size)
+        p95s.append(snap.wait_ns_p95)
+    # the trade-off must actually trade: batches grow, waiting grows
+    assert all(a <= b + 1e-9 for a, b in zip(batch_means, batch_means[1:]))
+    assert all(a <= b + 1e-9 for a, b in zip(p95s, p95s[1:]))
+    assert batch_means[-1] > 4 * batch_means[0]
+    report(
+        "Batch-wait window vs latency (virtual time, 1us mean interarrival)",
+        render_table(
+            ["wait window (us)", "mean batch", "wait p50 (us)",
+             "wait p95 (us)", "latency p95 (us)", "batches"],
+            rows,
+            title="micro-batch coalescer trade-off (deterministic ManualClock)",
+        ),
+    )
+
+
+def test_serve_metrics_snapshot_report(packed, zipf_schedule):
+    """One full serving report — metrics, histograms, row cache — the
+    observability surface the ROADMAP's ops story needs."""
+    server, elapsed = _serve_wallclock(
+        packed, zipf_schedule(seed=59), batch=256, wait_us=500.0,
+        cache_elements=200_000,
+    )
+    snap = server.snapshot(elapsed_s=elapsed)
+    assert snap.duplicates_coalesced > 0  # zipf traffic dedups in-batch
+    assert server.row_cache is not None
+    assert server.row_cache.stats().hit_rate > 0.2
+    report(
+        "Serving report (coalesced, row-cached, Zipf traffic)",
+        render_serve_report(snap, server.row_cache),
+    )

@@ -8,14 +8,15 @@ Public surface, by paper section:
   :class:`BitPackedCSR`, :func:`prefix_sum_parallel`.
 * Section IV (time-evolving differential CSR):
   :class:`EventList`, :func:`build_tcsr`, :class:`TemporalCSR`.
-* Section V (parallel queries): :class:`QueryEngine`.
+* Section V (parallel queries): :class:`QueryEngine`, served at
+  scale through :class:`GraphQueryServer` (:mod:`repro.serve`).
 * Section VI (evaluation harness): :mod:`repro.analysis`,
   :mod:`repro.datasets`, :mod:`repro.baselines`.
 * Executors: :class:`SerialExecutor`, :class:`ThreadExecutor`, and the
   :class:`SimulatedMachine` used for processor sweeps (DESIGN.md §1).
 """
 
-from . import analysis, baselines, bitpack, csr, datasets, parallel, query, temporal
+from . import analysis, baselines, bitpack, csr, datasets, parallel, query, serve, temporal
 from .csr import (
     BitPackedCSR,
     CSRGraph,
@@ -26,6 +27,7 @@ from .csr import (
     write_edge_list,
 )
 from .errors import (
+    AdmissionError,
     CodecError,
     FieldOverflowError,
     FrameError,
@@ -43,6 +45,7 @@ from .parallel import (
     prefix_sum_parallel,
 )
 from .query import QueryEngine
+from .serve import GraphQueryServer
 from .temporal import EventList, TemporalCSR, build_tcsr
 
 __version__ = "1.0.0"
@@ -55,6 +58,7 @@ __all__ = [
     "datasets",
     "parallel",
     "query",
+    "serve",
     "temporal",
     "BitPackedCSR",
     "CSRGraph",
@@ -63,6 +67,7 @@ __all__ = [
     "build_csr_serial",
     "read_edge_list",
     "write_edge_list",
+    "AdmissionError",
     "CodecError",
     "FieldOverflowError",
     "FrameError",
@@ -77,6 +82,7 @@ __all__ = [
     "ThreadExecutor",
     "prefix_sum_parallel",
     "QueryEngine",
+    "GraphQueryServer",
     "EventList",
     "TemporalCSR",
     "build_tcsr",

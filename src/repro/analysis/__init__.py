@@ -36,6 +36,11 @@ from .speedup import (
     speedup_percent,
     speedup_ratio,
 )
+from .serving import (
+    render_serve_histograms,
+    render_serve_metrics,
+    render_serve_report,
+)
 from .tables import format_value, render_series, render_table, sparkline
 from .tracing import (
     TraceSummary,
@@ -79,6 +84,9 @@ __all__ = [
     "sparkline",
     "build_report",
     "write_report",
+    "render_serve_histograms",
+    "render_serve_metrics",
+    "render_serve_report",
     "TraceSummary",
     "render_cache_stats",
     "render_trace",

@@ -1,0 +1,76 @@
+"""Table rendering for serve-side metrics.
+
+Turns a :class:`~repro.serve.metrics.ServeSnapshot` into the same
+aligned-text tables the rest of the harness prints
+(:func:`~repro.analysis.tables.render_table` idiom), and composes the
+serving view with a :class:`~repro.query.rowcache.RowCache`'s counters
+so one report covers the whole path: admission → coalescer → cache →
+kernels.
+"""
+
+from __future__ import annotations
+
+from .tables import render_table
+from .tracing import render_cache_stats
+
+__all__ = ["render_serve_metrics", "render_serve_histograms", "render_serve_report"]
+
+
+def _us(ns: float) -> str:
+    return f"{ns / 1e3:.1f}"
+
+
+def render_serve_metrics(snap, *, title: str = "serve metrics") -> str:
+    """The snapshot's counters and percentiles as one counter/value table."""
+    rows = [
+        ["accepted", snap.accepted],
+        ["completed", snap.completed],
+        ["rejected", snap.rejected],
+        ["shed", snap.shed],
+        ["blocked (backpressure)", snap.blocked],
+        ["batches dispatched", snap.batches],
+        ["mean batch size", f"{snap.mean_batch_size:.1f}"],
+        ["close reasons", " ".join(
+            f"{k}={v}" for k, v in sorted(snap.close_reasons.items())) or "-"],
+        ["duplicates coalesced", snap.duplicates_coalesced],
+        ["queue depth high-water", snap.queue_depth_high_watermark],
+        ["wait p50/p95/p99 (us)",
+         f"{_us(snap.wait_ns_p50)} / {_us(snap.wait_ns_p95)} / {_us(snap.wait_ns_p99)}"],
+        ["latency p50/p95/p99 (us)",
+         f"{_us(snap.latency_ns_p50)} / {_us(snap.latency_ns_p95)} / "
+         f"{_us(snap.latency_ns_p99)}"],
+        ["kernel service time (ms)", f"{snap.service_ns_total / 1e6:.2f}"],
+    ]
+    if snap.throughput_rps is not None:
+        rows.append(["throughput (req/s)", f"{snap.throughput_rps:,.0f}"])
+    return render_table(["counter", "value"], rows, title=title)
+
+
+def render_serve_histograms(snap, *, title: str = "serve histograms") -> str:
+    """Batch-size and wait-time distributions, power-of-two buckets."""
+    rows = []
+    for bucket, count in snap.batch_size_histogram.items():
+        rows.append(["batch size", f"<= {1 << bucket}", count])
+    for bucket, count in snap.wait_ns_histogram.items():
+        rows.append(["wait (ns)", f"<= {1 << bucket}", count])
+    if not rows:
+        rows.append(["-", "-", 0])
+    return render_table(["histogram", "bucket", "count"], rows, title=title)
+
+
+def render_serve_report(snap, cache=None, *, title: str = "serving report") -> str:
+    """Metrics + histograms, plus the row cache's counters when given.
+
+    *cache* is anything accepted by
+    :func:`~repro.analysis.tracing.render_cache_stats` (a
+    :class:`~repro.query.rowcache.RowCache` or compatible); pass a
+    server's ``row_cache`` to see coalescing and caching side by side.
+    """
+    parts = [
+        render_serve_metrics(snap, title=title),
+        "",
+        render_serve_histograms(snap),
+    ]
+    if cache is not None:
+        parts += ["", render_cache_stats(cache, title="row cache (serve path)")]
+    return "\n".join(parts)

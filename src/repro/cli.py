@@ -6,8 +6,11 @@ Commands
 * ``build`` — edge list file → bit-packed CSR ``.npz``, with the
   parallel pipeline of Section III on a simulated p-processor machine.
 * ``info`` — inspect a packed CSR file.
-* ``query`` — neighbours / edge existence against a packed CSR file.
+* ``query`` — neighbours / edge existence against a packed CSR file,
+  optionally through an LRU row cache (``--cache-elements``).
 * ``bench`` — regenerate Table II or Figures 6-7 from the paper.
+* ``serve-bench`` — coalesced vs single-request serving throughput on
+  a synthetic open-loop workload (the :mod:`repro.serve` subsystem).
 """
 
 from __future__ import annotations
@@ -62,6 +65,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     query = sub.add_parser("query", help="query a packed CSR file")
     query.add_argument("input", help=".npz produced by 'build'")
+    query.add_argument("--cache-elements", type=int, default=0,
+                       help="wrap the store in an LRU row cache of this many "
+                       "decoded elements and print its stats after the batch")
     qsub = query.add_subparsers(dest="query_kind", required=True)
     qn = qsub.add_parser("neighbors", help="list a node's neighbours")
     qn.add_argument("nodes", type=int, nargs="+")
@@ -73,6 +79,32 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("artifact", choices=["table2", "fig6", "fig7"])
     bench.add_argument("--scale", type=float, default=1 / 256)
     bench.add_argument("--min-edges", type=int, default=100_000)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="coalesced vs single-request serving throughput (repro.serve)",
+    )
+    serve.add_argument("--input", default=None,
+                       help=".npz packed CSR to serve (default: generate R-MAT)")
+    serve.add_argument("--nodes", type=int, default=1 << 12,
+                       help="generated graph nodes (ignored with --input)")
+    serve.add_argument("--edges", type=int, default=60_000,
+                       help="generated graph edges (ignored with --input)")
+    serve.add_argument("--requests", type=int, default=10_000)
+    serve.add_argument("--batch", type=int, default=256,
+                       help="coalescer max batch size")
+    serve.add_argument("--wait-us", type=float, default=200.0,
+                       help="coalescer max wait window (microseconds)")
+    serve.add_argument("--capacity", type=int, default=4096,
+                       help="admission queue capacity")
+    serve.add_argument("--policy", choices=["reject", "shed-oldest", "block"],
+                       default="block")
+    serve.add_argument("--workload", choices=["zipf", "uniform"], default="zipf")
+    serve.add_argument("--skew", type=float, default=1.2)
+    serve.add_argument("--edge-fraction", type=float, default=0.25)
+    serve.add_argument("--cache-elements", type=int, default=0,
+                       help="row-cache capacity on the serve path (0 = off)")
+    serve.add_argument("--seed", type=int, default=2023)
 
     rep = sub.add_parser("report", help="write the full reproduction report")
     rep.add_argument("output", help="markdown output path")
@@ -142,16 +174,24 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_query(args) -> int:
-    packed = _load(args.input)
+    from .analysis.tracing import render_cache_stats
+    from .query import RowCache
+
+    store = _load(args.input)
+    if args.cache_elements > 0:
+        store = RowCache(store, capacity=args.cache_elements)
+    rc = 0
     if args.query_kind == "neighbors":
         for u in args.nodes:
-            row = packed.neighbors(u)
+            row = store.neighbors(u)
             print(f"{u}: degree {row.shape[0]}: {row.tolist()}")
     else:
-        present = packed.has_edge(args.u, args.v)
+        present = store.has_edge(args.u, args.v)
         print(f"edge ({args.u}, {args.v}): {'present' if present else 'absent'}")
-        return 0 if present else 3
-    return 0
+        rc = 0 if present else 3
+    if isinstance(store, RowCache):
+        print(render_cache_stats(store))
+    return rc
 
 
 def _cmd_bench(args) -> int:
@@ -163,6 +203,96 @@ def _cmd_bench(args) -> int:
     else:
         curves = run_fig6(scale=args.scale, min_edges=args.min_edges)
         print(render_fig6(curves) if args.artifact == "fig6" else render_fig7(curves))
+    return 0
+
+
+def _serve_store(args) -> BitPackedCSR:
+    """The store a serve bench runs against: loaded, or a seeded R-MAT."""
+    if args.input:
+        return _load(args.input)
+    from .csr.builder import build_csr_serial, ensure_sorted
+
+    scale = max(1, int(np.ceil(np.log2(max(2, args.nodes)))))
+    src, dst, n = rmat_edges(scale, args.edges, rng=np.random.default_rng(args.seed))
+    src, dst = ensure_sorted(src, dst)
+    return BitPackedCSR.from_csr(build_csr_serial(src, dst, n))
+
+
+def _run_serve(store, workload, args, *, batch: int, wait_us: float):
+    """Serve *workload* as fast as it can be fed; returns (server, seconds)."""
+    import time as _time
+
+    from .serve import GraphQueryServer
+
+    server = GraphQueryServer(
+        store,
+        cache_elements=args.cache_elements,
+        max_batch_size=batch,
+        max_wait_ns=wait_us * 1e3,
+        queue_capacity=args.capacity,
+        policy=args.policy,
+    )
+    t0 = _time.perf_counter()
+    for _, request in workload:
+        server.submit(request)
+    server.drain()
+    return server, _time.perf_counter() - t0
+
+
+def _cmd_serve_bench(args) -> int:
+    from .analysis.serving import render_serve_report
+    from .analysis.tables import render_table
+    from .serve import synthetic_workload
+
+    store = _serve_store(args)
+    # re-derive planted edges from the store itself so half the edge
+    # queries hit regardless of where the graph came from
+    offsets_src = np.repeat(
+        np.arange(store.num_nodes, dtype=np.int64), store.degrees()
+    )
+    dst_all = np.concatenate(
+        [store.neighbors(u) for u in range(store.num_nodes)]
+    ).astype(np.int64) if store.num_edges else np.zeros(0, dtype=np.int64)
+    src_edges = (offsets_src, dst_all)
+
+    def fresh_workload():
+        return synthetic_workload(
+            args.requests,
+            store.num_nodes,
+            kind=args.workload,
+            skew=args.skew,
+            edge_fraction=args.edge_fraction,
+            mean_interarrival_ns=0.0,
+            edges=src_edges,
+            seed=args.seed,
+        )
+
+    single_srv, single_s = _run_serve(
+        store, fresh_workload(), args, batch=1, wait_us=0.0
+    )
+    coal_srv, coal_s = _run_serve(
+        store, fresh_workload(), args, batch=args.batch, wait_us=args.wait_us
+    )
+    single = single_srv.snapshot(elapsed_s=single_s)
+    coal = coal_srv.snapshot(elapsed_s=coal_s)
+    speedup = (coal.throughput_rps or 0.0) / max(single.throughput_rps or 1.0, 1e-9)
+    print(f"store : {store}")
+    print(f"served: {args.requests:,} {args.workload} requests "
+          f"(edge fraction {args.edge_fraction}), policy={args.policy}")
+    print()
+    print(render_table(
+        ["mode", "batch", "served", "seconds", "req/s"],
+        [
+            ["single-request", 1, single.completed, f"{single_s:.3f}",
+             f"{single.throughput_rps:,.0f}"],
+            [f"coalesced (wait {args.wait_us:.0f}us)", args.batch,
+             coal.completed, f"{coal_s:.3f}", f"{coal.throughput_rps:,.0f}"],
+        ],
+        title=f"serving throughput (coalesced speedup {speedup:.1f}x)",
+    ))
+    print()
+    print(render_serve_report(coal, coal_srv.row_cache,
+                              title="coalesced run metrics"))
     return 0
 
 
@@ -182,6 +312,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "query": _cmd_query,
     "bench": _cmd_bench,
+    "serve-bench": _cmd_serve_bench,
     "report": _cmd_report,
 }
 

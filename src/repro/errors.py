@@ -16,6 +16,7 @@ __all__ = [
     "FieldOverflowError",
     "QueryError",
     "FrameError",
+    "AdmissionError",
 ]
 
 
@@ -51,3 +52,13 @@ class QueryError(ReproError, ValueError):
 
 class FrameError(ReproError, ValueError):
     """A temporal operation referenced an invalid time-frame."""
+
+
+class AdmissionError(ReproError):
+    """A request was refused by serve-side admission control.
+
+    Raised when reading the result of a :class:`~repro.serve.ReplySlot`
+    whose request was rejected at the queue boundary or shed from the
+    queue under overload (the ``reject`` / ``shed-oldest`` policies of
+    :class:`~repro.serve.AdmissionController`).
+    """

@@ -1,0 +1,56 @@
+"""Query serving: micro-batch coalescing, admission control, metrics.
+
+The subsystem that turns a *stream* of independent user requests into
+the batched kernel calls of Section V: typed requests and reply
+handles (:mod:`~repro.serve.request`), a size/window micro-batch
+coalescer with in-batch hot-key dedup (:mod:`~repro.serve.coalescer`),
+bounded-queue admission control (:mod:`~repro.serve.admission`), the
+:class:`GraphQueryServer` gluing them to a
+:class:`~repro.query.engine.QueryEngine`
+(:mod:`~repro.serve.server`), serve-side metrics
+(:mod:`~repro.serve.metrics`), and seeded open-loop workload
+generation (:mod:`~repro.serve.workload`).
+"""
+
+from .admission import POLICIES, AdmissionController, AdmissionStats
+from .coalescer import BatchPlan, MicroBatch, MicroBatchCoalescer
+from .metrics import ServeMetrics, ServeSnapshot, log2_histogram, quantiles
+from .request import (
+    DONE,
+    PENDING,
+    REJECTED,
+    SHED,
+    EdgeRequest,
+    ManualClock,
+    NeighborsRequest,
+    ReplySlot,
+    Request,
+)
+from .server import GraphQueryServer
+from .workload import replay, synthetic_workload, zipf_nodes
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "POLICIES",
+    "BatchPlan",
+    "MicroBatch",
+    "MicroBatchCoalescer",
+    "ServeMetrics",
+    "ServeSnapshot",
+    "log2_histogram",
+    "quantiles",
+    "Request",
+    "NeighborsRequest",
+    "EdgeRequest",
+    "ReplySlot",
+    "ManualClock",
+    "PENDING",
+    "DONE",
+    "REJECTED",
+    "SHED",
+    "GraphQueryServer",
+    "synthetic_workload",
+    "zipf_nodes",
+    "replay",
+]

@@ -1,0 +1,139 @@
+"""Bounded-queue admission control for the serving layer.
+
+An open-loop workload does not slow down when the server falls behind,
+so without a bound the coalescer's FIFO — and every queued request's
+latency — grows without limit.  :class:`AdmissionController` caps the
+queue at ``capacity`` requests and applies one of three overload
+policies when a submit finds it full:
+
+* ``reject`` — refuse the new request at the boundary (its reply slot
+  resolves :data:`~repro.serve.request.REJECTED`); freshest-dropped,
+  the classic load-shedding front door.
+* ``shed-oldest`` — evict the longest-queued request (resolved
+  :data:`~repro.serve.request.SHED`) and admit the new one; keeps the
+  queue biased toward fresh traffic whose reply someone still wants.
+* ``block`` — apply backpressure: the server synchronously dispatches
+  a batch to make room, then admits.  Nothing is dropped; the
+  *producer* pays the latency, which is how a closed-loop client
+  experiences an overloaded server.
+
+The controller is pure policy + counters — the server owns the queue
+and performs the eviction/drain the decision asks for — so it stays
+trivially testable and reusable in front of any queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils import require
+
+__all__ = ["AdmissionController", "AdmissionStats", "POLICIES"]
+
+#: The recognised overload policies.
+POLICIES = ("reject", "shed-oldest", "block")
+
+#: Decisions returned by :meth:`AdmissionController.decide`.
+ACCEPT = "accept"
+REJECT = "reject"
+SHED = "shed"
+BLOCK = "block"
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionStats:
+    """Snapshot of an :class:`AdmissionController`'s counters."""
+
+    policy: str
+    capacity: int
+    accepted: int
+    rejected: int
+    shed: int
+    blocked: int
+    high_watermark: int
+
+    @property
+    def submitted(self) -> int:
+        """Total submit attempts seen (accepted + rejected)."""
+        return self.accepted + self.rejected
+
+
+class AdmissionController:
+    """Decides the fate of each submit against a bounded queue.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum queued (un-dispatched) requests; must be >= 1.
+    policy:
+        One of :data:`POLICIES` — what to do when a submit finds the
+        queue at capacity.
+    """
+
+    __slots__ = (
+        "capacity",
+        "policy",
+        "accepted",
+        "rejected",
+        "shed",
+        "blocked",
+        "high_watermark",
+    )
+
+    def __init__(self, capacity: int, policy: str = "reject"):
+        require(capacity >= 1, "admission capacity must be >= 1")
+        require(policy in POLICIES, f"unknown admission policy {policy!r}")
+        self.capacity = int(capacity)
+        self.policy = policy
+        self.accepted = 0
+        self.rejected = 0
+        self.shed = 0
+        self.blocked = 0
+        self.high_watermark = 0
+
+    def decide(self, depth: int) -> str:
+        """Admission decision for a submit arriving at queue ``depth``.
+
+        Returns ``"accept"`` (room available), or the policy's overload
+        action: ``"reject"`` (count it refused), ``"shed"`` (caller
+        must evict the oldest queued request, then admit), or
+        ``"block"`` (caller must dispatch a batch to make room, then
+        admit).  Counters update here; ``record_admitted`` must be
+        called once the request actually lands in the queue.
+        """
+        if depth < self.capacity:
+            return ACCEPT
+        if self.policy == "reject":
+            self.rejected += 1
+            return REJECT
+        if self.policy == "shed-oldest":
+            self.shed += 1
+            return SHED
+        self.blocked += 1
+        return BLOCK
+
+    def record_admitted(self, depth_after: int) -> None:
+        """Count one admitted request and track the depth high-water mark."""
+        self.accepted += 1
+        if depth_after > self.high_watermark:
+            self.high_watermark = depth_after
+
+    def stats(self) -> AdmissionStats:
+        """Current counters as an immutable snapshot."""
+        return AdmissionStats(
+            policy=self.policy,
+            capacity=self.capacity,
+            accepted=self.accepted,
+            rejected=self.rejected,
+            shed=self.shed,
+            blocked=self.blocked,
+            high_watermark=self.high_watermark,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (
+            f"AdmissionController(policy={s.policy!r}, capacity={s.capacity}, "
+            f"accepted={s.accepted}, rejected={s.rejected}, shed={s.shed}, "
+            f"blocked={s.blocked})"
+        )

@@ -1,0 +1,199 @@
+"""Typed request/response envelopes for the serving layer.
+
+A serving request is one independent user query — a neighbourhood
+lookup or an edge-existence check — travelling from an open-loop
+workload source through admission control and the micro-batch
+coalescer into the batched kernels of Section V.  Each request carries
+a server-assigned **ticket** (a monotone id) and three lifecycle
+timestamps on the server's clock: ``enqueue_ns`` (admitted into the
+queue), ``dispatch_ns`` (its batch closed and hit the
+:class:`~repro.query.engine.QueryEngine`), and ``complete_ns`` (reply
+demuxed).  Latency accounting and the coalescer's wait-window maths
+both read these stamps, so the clock is injectable everywhere
+(:class:`ManualClock` makes every test deterministic).
+
+The caller's handle is a :class:`ReplySlot` — a synchronous
+future-like cell resolved exactly once, whether the request completed,
+was rejected at the queue boundary, or was shed under overload.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import AdmissionError, ValidationError
+from ..utils import require
+
+__all__ = [
+    "Request",
+    "NeighborsRequest",
+    "EdgeRequest",
+    "ReplySlot",
+    "ManualClock",
+    "PENDING",
+    "DONE",
+    "REJECTED",
+    "SHED",
+]
+
+#: Terminal and non-terminal reply states (strings, compared by value).
+PENDING = "pending"
+DONE = "done"
+REJECTED = "rejected"
+SHED = "shed"
+
+_TERMINAL = frozenset({DONE, REJECTED, SHED})
+
+
+@dataclass(slots=True)
+class Request:
+    """Base envelope: ticket id plus lifecycle timestamps.
+
+    ``ticket`` is ``-1`` until the server assigns one at submit time;
+    the timestamps stay ``None`` until the corresponding lifecycle
+    event stamps them (all on the server's injectable clock).
+    """
+
+    ticket: int = field(default=-1, init=False)
+    enqueue_ns: float | None = field(default=None, init=False)
+    dispatch_ns: float | None = field(default=None, init=False)
+    complete_ns: float | None = field(default=None, init=False)
+
+    @property
+    def wait_ns(self) -> float | None:
+        """Time spent queued before its batch closed (None until dispatched)."""
+        if self.enqueue_ns is None or self.dispatch_ns is None:
+            return None
+        return self.dispatch_ns - self.enqueue_ns
+
+    @property
+    def latency_ns(self) -> float | None:
+        """Enqueue-to-reply latency (None until completed)."""
+        if self.enqueue_ns is None or self.complete_ns is None:
+            return None
+        return self.complete_ns - self.enqueue_ns
+
+
+@dataclass(slots=True)
+class NeighborsRequest(Request):
+    """One Algorithm 6 query: the neighbour row of ``node``."""
+
+    node: int = 0
+
+    @property
+    def key(self) -> tuple:
+        """Coalescing identity — repeated hot nodes dedup to one lane."""
+        return ("n", int(self.node))
+
+
+@dataclass(slots=True)
+class EdgeRequest(Request):
+    """One Algorithm 7 query: does the edge ``(u, v)`` exist?"""
+
+    u: int = 0
+    v: int = 0
+
+    @property
+    def key(self) -> tuple:
+        """Coalescing identity — repeated (u, v) pairs dedup to one lane."""
+        return ("e", int(self.u), int(self.v))
+
+
+class ReplySlot:
+    """Synchronous future-like handle for one submitted request.
+
+    The server resolves every slot exactly once into one of three
+    terminal states: :data:`DONE` (carrying the query result),
+    :data:`REJECTED` (refused at the queue boundary), or :data:`SHED`
+    (admitted, then evicted under overload before dispatch).  Reading
+    :meth:`result` on a refused slot raises
+    :class:`~repro.errors.AdmissionError`; reading it before
+    resolution raises :class:`~repro.errors.ValidationError`.
+    """
+
+    __slots__ = ("request", "status", "_value")
+
+    def __init__(self, request: Request):
+        self.request = request
+        self.status = PENDING
+        self._value = None
+
+    @property
+    def ready(self) -> bool:
+        """True once the slot reached any terminal state."""
+        return self.status in _TERMINAL
+
+    def result(self):
+        """The query result (row array or edge bool).
+
+        Raises :class:`~repro.errors.AdmissionError` when the request
+        was rejected or shed, :class:`~repro.errors.ValidationError`
+        while still pending.
+        """
+        if self.status == DONE:
+            return self._value
+        if self.status in (REJECTED, SHED):
+            raise AdmissionError(
+                f"request ticket={self.request.ticket} was {self.status} "
+                "by admission control"
+            )
+        raise ValidationError(
+            f"request ticket={self.request.ticket} has no reply yet"
+        )
+
+    # -- server-side resolution (exactly once) --------------------------
+    def _resolve(self, status: str, value=None) -> None:
+        if self.status != PENDING:
+            raise ValidationError(
+                f"reply slot for ticket={self.request.ticket} resolved twice "
+                f"({self.status} -> {status})"
+            )
+        self.status = status
+        self._value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        shape = (
+            f", value.shape={self._value.shape}"
+            if isinstance(self._value, np.ndarray)
+            else (f", value={self._value!r}" if self.status == DONE else "")
+        )
+        return f"ReplySlot(ticket={self.request.ticket}, status={self.status}{shape})"
+
+
+class ManualClock:
+    """A hand-advanced monotonic nanosecond clock.
+
+    Injecting one of these wherever the serve layer takes a ``clock``
+    callable makes batch-window closure, wait times, and latency
+    percentiles fully deterministic — the arrival schedule *is* the
+    timebase, independent of host speed.  Calling the instance returns
+    the current time, matching :func:`time.monotonic_ns`.
+    """
+
+    __slots__ = ("now_ns",)
+
+    def __init__(self, start_ns: float = 0.0):
+        self.now_ns = float(start_ns)
+
+    def __call__(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self.now_ns
+
+    def advance(self, delta_ns: float) -> float:
+        """Move time forward by ``delta_ns`` (must be non-negative)."""
+        require(delta_ns >= 0, "clock can only advance forward")
+        self.now_ns += float(delta_ns)
+        return self.now_ns
+
+    def advance_to(self, t_ns: float) -> float:
+        """Move time forward to absolute ``t_ns`` (no-op when in the past)."""
+        self.now_ns = max(self.now_ns, float(t_ns))
+        return self.now_ns
+
+
+def default_clock() -> float:
+    """The wall monotonic clock in nanoseconds (the production default)."""
+    return float(time.monotonic_ns())

@@ -1,0 +1,226 @@
+"""The query server: workload stream → coalescer → batched kernels.
+
+:class:`GraphQueryServer` is the glue the ROADMAP's "heavy traffic"
+framing was missing: it accepts *independent* requests one at a time,
+lets admission control bound the queue, lets the coalescer turn the
+queue into micro-batches, dispatches each batch through a
+:class:`~repro.query.engine.QueryEngine` (so any
+:class:`~repro.query.stores.GraphStore`, optional
+:class:`~repro.query.rowcache.RowCache`, and any
+:class:`~repro.parallel.machine.Executor` all plug in unchanged), and
+demuxes the kernel outputs back onto each ticket's
+:class:`~repro.serve.request.ReplySlot`.
+
+Replies are **bit-exact** to direct per-request ``QueryEngine`` calls:
+dispatch runs the very same Algorithm 6/7 batch kernels, and in-batch
+dedup only routes several tickets to one kernel lane — it never
+changes what the kernel computes (property-tested across stores,
+executors, and admission policies in ``tests/serve``).
+
+The server is synchronous and event-driven — ``submit`` and ``pump``
+do all the work inline — which keeps results deterministic under the
+injectable clock while exercising exactly the queueing structure a
+threaded front-end would have.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..errors import QueryError, ValidationError
+from ..parallel.machine import Executor
+from ..query.edges import Method
+from ..query.engine import QueryEngine
+from ..query.rowcache import RowCache
+from ..utils import require
+from .admission import AdmissionController
+from .coalescer import MicroBatch, MicroBatchCoalescer
+from .metrics import ServeMetrics, ServeSnapshot
+from .request import (
+    DONE,
+    REJECTED,
+    SHED,
+    EdgeRequest,
+    NeighborsRequest,
+    ReplySlot,
+    Request,
+    default_clock,
+)
+
+__all__ = ["GraphQueryServer"]
+
+
+class GraphQueryServer:
+    """Micro-batching front-end over a graph store.
+
+    Parameters
+    ----------
+    store:
+        Any :class:`~repro.query.stores.GraphStore` (CSR, packed CSR,
+        baselines, or an already-wrapped :class:`RowCache`).
+    executor:
+        Where batches run; defaults to the engine's serial executor.
+    cache_elements:
+        When positive, wrap *store* in a :class:`RowCache` of that many
+        decoded elements (ignored if *store* already is one).
+    max_batch_size / max_wait_ns:
+        Coalescer bounds — see
+        :class:`~repro.serve.coalescer.MicroBatchCoalescer`.
+    queue_capacity / policy:
+        Admission bounds — see
+        :class:`~repro.serve.admission.AdmissionController`.
+    edge_method:
+        Membership method for edge batches (Algorithm 7's ``scan`` or
+        the ``bisect`` extension).
+    clock:
+        Nanosecond monotonic clock for every lifecycle stamp;
+        injectable (:class:`~repro.serve.request.ManualClock`) for
+        deterministic tests and virtual-time latency studies.
+    """
+
+    def __init__(
+        self,
+        store,
+        executor: Executor | None = None,
+        *,
+        cache_elements: int = 0,
+        max_batch_size: int = 64,
+        max_wait_ns: float = 1_000_000.0,
+        queue_capacity: int = 4096,
+        policy: str = "reject",
+        edge_method: Method = "scan",
+        clock=default_clock,
+    ):
+        if cache_elements and not isinstance(store, RowCache):
+            store = RowCache(store, capacity=cache_elements)
+        self.engine = QueryEngine(store, executor)
+        self.edge_method: Method = edge_method
+        self._clock = clock
+        self.coalescer = MicroBatchCoalescer(
+            max_batch_size, max_wait_ns, clock=clock
+        )
+        self.admission = AdmissionController(queue_capacity, policy)
+        self.metrics = ServeMetrics()
+        self._slots: dict[int, ReplySlot] = {}
+        self._next_ticket = 0
+
+    @property
+    def store(self):
+        """The (possibly cache-wrapped) store batches run against."""
+        return self.engine.store
+
+    @property
+    def row_cache(self) -> RowCache | None:
+        """The wrapping :class:`RowCache`, when one is in the path."""
+        store = self.engine.store
+        return store if isinstance(store, RowCache) else None
+
+    # -- the request lifecycle ------------------------------------------
+    def submit(self, request: Request) -> ReplySlot:
+        """Admit one request; returns its reply handle immediately.
+
+        The slot may already be terminal on return: ``rejected`` under
+        the reject policy at capacity, or ``done`` when this submit
+        closed a batch (by size, by an expired window, or by the
+        ``block`` policy draining to make room).
+        """
+        if not isinstance(request, (NeighborsRequest, EdgeRequest)):
+            raise ValidationError(
+                f"unsupported request type {type(request).__name__}"
+            )
+        require(request.ticket < 0, "request was already submitted")
+        now = self._clock()
+        request.ticket = self._next_ticket
+        self._next_ticket += 1
+        request.enqueue_ns = now
+        slot = ReplySlot(request)
+        decision = self.admission.decide(self.coalescer.pending)
+        if decision == "reject":
+            slot._resolve(REJECTED)
+            return slot
+        if decision == "shed":
+            victim = self.coalescer.evict_oldest()
+            self._slots.pop(victim.ticket)._resolve(SHED)
+        elif decision == "block":
+            # backpressure: serve a batch now so the queue has room
+            batch = self.coalescer.close_batch(now, "flush")
+            if batch is not None:
+                self._dispatch(batch)
+        self._slots[request.ticket] = slot
+        self.coalescer.offer(request)
+        self.admission.record_admitted(self.coalescer.pending)
+        self.metrics.record_depth(self.coalescer.pending)
+        self.pump(now)
+        return slot
+
+    def pump(self, now: float | None = None) -> int:
+        """Dispatch every batch the coalescer considers closed at
+        *now* (size reached, or wait window expired); returns the
+        number of batches served.  Call between arrivals when driving
+        the server from a schedule."""
+        served = 0
+        while (batch := self.coalescer.poll(now)) is not None:
+            self._dispatch(batch)
+            served += 1
+        return served
+
+    def drain(self) -> int:
+        """Flush and serve everything still queued (shutdown path);
+        returns the number of batches served.  Afterwards every
+        accepted ticket's slot is terminal."""
+        served = 0
+        for batch in self.coalescer.flush(self._clock()):
+            self._dispatch(batch)
+            served += 1
+        return served
+
+    # -- batch dispatch -------------------------------------------------
+    def _dispatch(self, batch: MicroBatch) -> None:
+        plan = batch.plan
+        t0 = time.perf_counter_ns()
+        rows = (
+            self.engine.neighbors(plan.unique_nodes)
+            if plan.unique_nodes.shape[0]
+            else []
+        )
+        exists = (
+            self.engine.has_edges(plan.unique_edges, method=self.edge_method)
+            if plan.unique_edges.shape[0]
+            else None
+        )
+        service_ns = time.perf_counter_ns() - t0
+        # completion is stamped on the server clock at dispatch (never
+        # before the batch's analytic close time): under a manual clock
+        # latency is pure queueing/poll-cadence time, under the wall
+        # clock it also includes kernel time
+        done_ns = max(float(batch.closed_ns), float(self._clock()))
+        self.metrics.record_batch(
+            len(batch), batch.closed_by, plan.duplicates, service_ns
+        )
+        for req, lane in zip(plan.neighbor_requests, plan.node_lane):
+            self._complete(req, rows[lane], batch.closed_ns, done_ns)
+        for req, lane in zip(plan.edge_requests, plan.edge_lane):
+            self._complete(req, bool(exists[lane]), batch.closed_ns, done_ns)
+
+    def _complete(self, req: Request, value, dispatch_ns: float,
+                  complete_ns: float) -> None:
+        req.dispatch_ns = float(dispatch_ns)
+        req.complete_ns = complete_ns
+        slot = self._slots.pop(req.ticket, None)
+        if slot is None:  # pragma: no cover - would be a demux bug
+            raise QueryError(f"no reply slot for ticket {req.ticket}")
+        slot._resolve(DONE, value)
+        self.metrics.record_reply(req.wait_ns, req.latency_ns)
+
+    # -- observability --------------------------------------------------
+    def snapshot(self, *, elapsed_s: float | None = None) -> ServeSnapshot:
+        """Current serve metrics merged with the admission counters."""
+        return self.metrics.snapshot(
+            self.admission.stats(), elapsed_s=elapsed_s
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GraphQueryServer(engine={self.engine!r}, "
+            f"coalescer={self.coalescer!r}, admission={self.admission!r})"
+        )

@@ -1,0 +1,130 @@
+"""Deterministic open-loop workload generation and replay.
+
+Social-network read traffic is heavily skewed — Log(Graph)-style
+evaluations and the paper's own query section both assume a few
+celebrity nodes absorb most lookups — so the serving benches need a
+workload whose *popularity* (Zipf or uniform), *mix* (neighbour vs
+edge queries), and *arrival schedule* (exponential interarrivals at a
+configurable rate) are all seeded and reproducible: the same seed
+yields byte-identical request streams on every host.
+
+:func:`synthetic_workload` builds the schedule as a list of
+``(arrival_ns, request)`` pairs; :func:`replay` drives a
+:class:`~repro.serve.server.GraphQueryServer` through it on a
+:class:`~repro.serve.request.ManualClock`, making the arrival schedule
+the timebase so queueing behaviour (batch closures, wait times,
+latency percentiles) is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils import require
+from .request import EdgeRequest, ManualClock, NeighborsRequest, Request
+
+__all__ = ["synthetic_workload", "zipf_nodes", "replay"]
+
+
+def zipf_nodes(count: int, num_nodes: int, skew: float,
+               rng: np.random.Generator) -> np.ndarray:
+    """*count* node ids under a Zipf(*skew*) popularity law.
+
+    Rank ``r`` of the Zipf draw maps to node id ``r`` (clipped into
+    range), so low-numbered nodes are the celebrities — matching the
+    row-cache benches' convention.  ``skew`` must exceed 1 (the
+    distribution is not normalisable at 1).
+    """
+    require(skew > 1.0, "zipf skew must be > 1")
+    require(num_nodes >= 1, "need at least one node")
+    return np.minimum(rng.zipf(skew, count) - 1, num_nodes - 1).astype(np.int64)
+
+
+def synthetic_workload(
+    n_requests: int,
+    num_nodes: int,
+    *,
+    kind: str = "zipf",
+    skew: float = 1.2,
+    edge_fraction: float = 0.25,
+    mean_interarrival_ns: float = 1_000.0,
+    edges: tuple[np.ndarray, np.ndarray] | None = None,
+    seed: int = 2023,
+) -> list[tuple[float, Request]]:
+    """A seeded open-loop request schedule: ``[(arrival_ns, request)]``.
+
+    Parameters
+    ----------
+    kind:
+        ``"zipf"`` (skewed popularity) or ``"uniform"``.
+    edge_fraction:
+        Share of requests that are edge-existence checks; the rest are
+        neighbourhood lookups.
+    mean_interarrival_ns:
+        Mean of the exponential interarrival gaps (Poisson arrivals);
+        ``0`` puts every arrival at t=0 (closed-batch stress feed).
+    edges:
+        Optional ``(src, dst)`` arrays of real edges; when given, half
+        the edge queries are planted hits drawn from them, the other
+        half random pairs — so both kernel outcomes are exercised.
+    seed:
+        Everything (popularity, mix, schedule) derives from this.
+    """
+    require(n_requests >= 0, "n_requests must be non-negative")
+    require(kind in ("zipf", "uniform"), f"unknown workload kind {kind!r}")
+    require(0.0 <= edge_fraction <= 1.0, "edge_fraction must be in [0, 1]")
+    require(mean_interarrival_ns >= 0, "mean interarrival must be non-negative")
+    rng = np.random.default_rng(seed)
+    if kind == "zipf":
+        nodes = zipf_nodes(2 * n_requests, num_nodes, skew, rng)
+    else:
+        nodes = rng.integers(0, num_nodes, 2 * n_requests, dtype=np.int64)
+    is_edge = rng.random(n_requests) < edge_fraction
+    if mean_interarrival_ns > 0:
+        arrivals = np.cumsum(rng.exponential(mean_interarrival_ns, n_requests))
+    else:
+        arrivals = np.zeros(n_requests)
+    planted = rng.random(n_requests) < 0.5
+    plant_idx = (
+        rng.integers(0, edges[0].shape[0], n_requests)
+        if edges is not None and edges[0].shape[0]
+        else None
+    )
+    out: list[tuple[float, Request]] = []
+    for i in range(n_requests):
+        if is_edge[i]:
+            if plant_idx is not None and planted[i]:
+                u, v = int(edges[0][plant_idx[i]]), int(edges[1][plant_idx[i]])
+            else:
+                u, v = int(nodes[2 * i]), int(nodes[2 * i + 1])
+            req: Request = EdgeRequest(u=u, v=v)
+        else:
+            req = NeighborsRequest(node=int(nodes[2 * i]))
+        out.append((float(arrivals[i]), req))
+    return out
+
+
+def replay(server, workload, *, pump_between: bool = True) -> list:
+    """Drive *server* through *workload* on its manual clock.
+
+    The server must have been built with a
+    :class:`~repro.serve.request.ManualClock`; each arrival advances
+    that clock to the scheduled time (firing any expired wait windows
+    first when ``pump_between``), submits, and collects the reply
+    slot.  Ends with a :meth:`~repro.serve.server.GraphQueryServer.drain`
+    so every accepted ticket is terminal.  Returns the slots in
+    submission order.
+    """
+    clock = getattr(server, "_clock", None)
+    require(
+        isinstance(clock, ManualClock),
+        "replay needs a server built with a ManualClock",
+    )
+    slots = []
+    for arrival_ns, request in workload:
+        clock.advance_to(arrival_ns)
+        if pump_between:
+            server.pump(clock())
+        slots.append(server.submit(request))
+    server.drain()
+    return slots

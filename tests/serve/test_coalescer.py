@@ -1,0 +1,165 @@
+"""Deterministic-clock unit tests for the micro-batch coalescer.
+
+Every closure rule is pinned against a hand-advanced clock: size
+before window, window before size, flush-on-shutdown, forced closure,
+and the analytic (poll-cadence-independent) window close stamp.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.serve import (
+    EdgeRequest,
+    ManualClock,
+    MicroBatchCoalescer,
+    NeighborsRequest,
+)
+
+
+def _req(node, clock):
+    r = NeighborsRequest(node=node)
+    r.enqueue_ns = clock()
+    return r
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+class TestSizeClosure:
+    def test_batch_closes_on_size_before_window(self, clock):
+        co = MicroBatchCoalescer(max_batch_size=3, max_wait_ns=1_000_000, clock=clock)
+        for i in range(3):
+            co.offer(_req(i, clock))
+            clock.advance(10)  # far inside the window
+        batch = co.poll()
+        assert batch is not None
+        assert batch.closed_by == "size"
+        assert len(batch) == 3
+        assert co.pending == 0
+
+    def test_no_close_below_size_inside_window(self, clock):
+        co = MicroBatchCoalescer(max_batch_size=3, max_wait_ns=1_000, clock=clock)
+        co.offer(_req(0, clock))
+        co.offer(_req(1, clock))
+        clock.advance(999)  # window not yet expired
+        assert co.poll() is None
+        assert co.pending == 2
+
+    def test_size_closure_takes_exactly_max(self, clock):
+        co = MicroBatchCoalescer(max_batch_size=2, max_wait_ns=10, clock=clock)
+        for i in range(5):
+            co.offer(_req(i, clock))
+        first = co.poll()
+        second = co.poll()
+        assert [len(first), len(second)] == [2, 2]
+        assert co.pending == 1
+
+
+class TestWindowClosure:
+    def test_batch_closes_on_window_before_size(self, clock):
+        co = MicroBatchCoalescer(max_batch_size=100, max_wait_ns=500, clock=clock)
+        co.offer(_req(0, clock))
+        clock.advance(100)
+        co.offer(_req(1, clock))
+        assert co.poll() is None  # oldest waited only 100
+        clock.advance(400)  # oldest hits exactly 500
+        batch = co.poll()
+        assert batch is not None
+        assert batch.closed_by == "window"
+        assert len(batch) == 2  # partial batch: whatever was queued
+
+    def test_window_close_stamp_is_analytic(self, clock):
+        """The close time is enqueue+window, not when the poll ran."""
+        co = MicroBatchCoalescer(max_batch_size=100, max_wait_ns=500, clock=clock)
+        co.offer(_req(0, clock))
+        clock.advance(5_000)  # poll runs much later
+        batch = co.poll()
+        assert batch.closed_ns == 500.0
+
+    def test_zero_window_drains_every_poll(self, clock):
+        co = MicroBatchCoalescer(max_batch_size=100, max_wait_ns=0, clock=clock)
+        co.offer(_req(0, clock))
+        batch = co.poll()
+        assert batch is not None and len(batch) == 1
+        assert batch.closed_by == "window"
+
+
+class TestFlush:
+    def test_flush_drains_queue_in_capped_batches(self, clock):
+        co = MicroBatchCoalescer(max_batch_size=4, max_wait_ns=1 << 40, clock=clock)
+        for i in range(10):
+            co.offer(_req(i, clock))
+        batches = co.flush()
+        assert [len(b) for b in batches] == [4, 4, 2]
+        assert all(b.closed_by == "flush" for b in batches)
+        assert co.pending == 0
+        # FIFO order preserved across the split
+        nodes = [r.node for b in batches for r in b.requests]
+        assert nodes == list(range(10))
+
+    def test_flush_empty_is_noop(self, clock):
+        co = MicroBatchCoalescer(clock=clock)
+        assert co.flush() == []
+
+    def test_close_batch_forces_one(self, clock):
+        co = MicroBatchCoalescer(max_batch_size=4, max_wait_ns=1 << 40, clock=clock)
+        assert co.close_batch() is None
+        for i in range(6):
+            co.offer(_req(i, clock))
+        batch = co.close_batch()
+        assert len(batch) == 4
+        assert co.pending == 2
+
+
+class TestDedup:
+    def test_in_batch_dedup_one_reply_lane_per_key(self, clock):
+        """Repeated hot keys collapse to one kernel lane while every
+        ticket keeps its own position in the plan."""
+        co = MicroBatchCoalescer(max_batch_size=8, max_wait_ns=0, clock=clock)
+        reqs = [
+            NeighborsRequest(node=7),
+            NeighborsRequest(node=7),
+            EdgeRequest(u=1, v=2),
+            NeighborsRequest(node=3),
+            EdgeRequest(u=1, v=2),
+            NeighborsRequest(node=7),
+        ]
+        for r in reqs:
+            r.enqueue_ns = clock()
+            co.offer(r)
+        plan = co.poll().plan
+        assert plan.unique_nodes.tolist() == [7, 3]
+        assert plan.node_lane == (0, 0, 1, 0)
+        assert plan.unique_edges.tolist() == [[1, 2]]
+        assert plan.edge_lane == (0, 0)
+        # one lane assignment per submitted ticket
+        assert len(plan.node_lane) + len(plan.edge_lane) == len(reqs)
+        assert plan.duplicates == 3
+
+    def test_plan_empty_kinds(self, clock):
+        co = MicroBatchCoalescer(max_batch_size=2, max_wait_ns=0, clock=clock)
+        r = EdgeRequest(u=0, v=1)
+        r.enqueue_ns = clock()
+        co.offer(r)
+        plan = co.poll().plan
+        assert plan.unique_nodes.shape == (0,)
+        assert plan.unique_edges.shape == (1, 2)
+        assert plan.unique_edges.dtype == np.int64
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValidationError):
+            MicroBatchCoalescer(max_batch_size=0)
+        with pytest.raises(ValidationError):
+            MicroBatchCoalescer(max_wait_ns=-1)
+
+    def test_manual_clock_monotone(self):
+        clock = ManualClock(5)
+        with pytest.raises(ValidationError):
+            clock.advance(-1)
+        clock.advance_to(3)  # past target: no-op, never rewinds
+        assert clock() == 5

@@ -77,6 +77,26 @@ class TestQuery:
         out = capsys.readouterr().out
         assert "degree" in out
 
+    def test_neighbors_with_row_cache(self, packed_file, capsys):
+        rc = main(["query", str(packed_file), "--cache-elements", "5000",
+                   "neighbors", "0", "0", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "degree" in out
+        # cache stats table printed after the batch, and node 0 repeated
+        assert "hit rate" in out
+        assert "misses" in out
+
+    def test_edge_with_row_cache_keeps_exit_codes(self, packed_file, capsys):
+        packed = BitPackedCSR.load(packed_file)
+        u = int(np.argmax(packed.degrees()))
+        v = int(packed.neighbors(u)[0])
+        rc = main(["query", str(packed_file), "--cache-elements", "100",
+                   "edge", str(u), str(v)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "present" in out and "hit rate" in out
+
     def test_edge_exit_codes(self, packed_file, capsys):
         packed = BitPackedCSR.load(packed_file)
         # find one present edge
@@ -111,6 +131,68 @@ class TestBench:
         rc = main(["bench", artifact, "--scale", "0.0003", "--min-edges", "3000"])
         assert rc == 0
         assert "Figure" in capsys.readouterr().out
+
+
+class TestServeBench:
+    def test_smoke_tiny_graph(self, capsys):
+        rc = main(["serve-bench", "--nodes", "256", "--edges", "2000",
+                   "--requests", "400", "--seed", "7"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serving throughput" in out
+        assert "coalesced" in out
+        assert "batches dispatched" in out
+
+    def test_smoke_with_cache_and_policy(self, capsys):
+        rc = main(["serve-bench", "--nodes", "256", "--edges", "2000",
+                   "--requests", "300", "--seed", "7", "--policy", "shed-oldest",
+                   "--cache-elements", "4000", "--workload", "uniform"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "row cache (serve path)" in out
+
+    def test_serves_built_file(self, packed_file, capsys):
+        rc = main(["serve-bench", "--input", str(packed_file),
+                   "--requests", "200", "--batch", "32"])
+        assert rc == 0
+        assert "req/s" in capsys.readouterr().out
+
+
+class TestCleanErrors:
+    """ReproError must exit non-zero with a one-line message — no
+    traceback — all the way through the real interpreter entry point."""
+
+    def test_repro_error_exit_code_and_message(self, packed_file):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(repo / "src"), env.get("PYTHONPATH", "")]
+        ).rstrip(os.pathsep)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "query", str(packed_file),
+             "neighbors", "999999"],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 2
+        assert proc.stderr.startswith("error:")
+        assert "Traceback" not in proc.stderr
+        assert "Traceback" not in proc.stdout
+
+    def test_validation_error_in_process(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("not an edge list\n")
+        rc = main(["build", str(bad), str(tmp_path / "o.npz")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
 
 
 class TestParser:

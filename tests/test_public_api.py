@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.pcsr",
     "repro.datasets",
     "repro.analysis",
+    "repro.serve",
 ]
 
 
