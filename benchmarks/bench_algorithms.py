@@ -10,7 +10,8 @@ import numpy as np
 import pytest
 
 from repro.analysis.tables import render_series
-from repro.csr import bfs_levels, build_csr_serial, pagerank, spmv
+from repro import open_store
+from repro.csr import bfs_levels, pagerank, spmv
 from repro.parallel import SerialExecutor, SimulatedMachine
 
 from conftest import report
@@ -19,7 +20,7 @@ from conftest import report
 @pytest.fixture(scope="module")
 def graph(medium_standin):
     ds = medium_standin
-    return build_csr_serial(ds.sources, ds.destinations, ds.num_nodes)
+    return open_store("csr-serial", ds.sources, ds.destinations, ds.num_nodes)
 
 
 @pytest.fixture(scope="module")

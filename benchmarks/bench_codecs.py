@@ -11,8 +11,7 @@ import pytest
 
 from repro.analysis.tables import render_table
 from repro.bitpack import available_codecs, get_codec, row_gaps
-from repro.bitpack.k2tree import K2Tree
-from repro.csr import BitPackedCSR, build_csr_serial
+from repro import open_store
 
 from conftest import report
 
@@ -25,7 +24,7 @@ def graphs(standins):
         src = ds.sources[:300_000]
         dst = ds.destinations[:300_000]
         n = ds.num_nodes
-        out[name] = build_csr_serial(src, dst, n)
+        out[name] = open_store("csr-serial", src, dst, n)
     return out
 
 
@@ -73,9 +72,10 @@ def test_representation_comparison(benchmark, graphs):
         for name, g in graphs.items():
             if g.num_edges == 0:
                 continue
-            packed = BitPackedCSR.from_csr(g)
-            gap = BitPackedCSR.from_csr(g, gap_encode=True)
-            k2 = K2Tree.from_csr(g)
+            edges = (*g.edges(), g.num_nodes)
+            packed = open_store("packed", *edges)
+            gap = open_store("gap", *edges)
+            k2 = open_store("k2tree", *edges)
             rows.append(
                 [
                     name,

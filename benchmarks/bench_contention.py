@@ -12,7 +12,7 @@ ordering emerges: the bigger the graph, the earlier it saturates.
 import pytest
 
 from repro.analysis.tables import render_table
-from repro.csr import build_bitpacked_csr
+from repro import open_store
 from repro.datasets import PAPER_GRAPHS, standin
 from repro.parallel import SimulatedMachine
 
@@ -39,7 +39,7 @@ def measure(ds, p, *, contention):
         else {}
     )
     machine = SimulatedMachine(p, **kwargs)
-    build_bitpacked_csr(ds.sources, ds.destinations, ds.num_nodes, machine)
+    open_store("packed", ds.sources, ds.destinations, ds.num_nodes, executor=machine)
     return machine.elapsed_ms()
 
 

@@ -14,7 +14,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.tables import render_table
-from repro.csr import build_csr_serial
+from repro import open_store
 from repro.csr.builder import ensure_sorted
 from repro.pcsr import PCSRGraph
 
@@ -83,7 +83,7 @@ def test_static_rebuild_batch_wallclock(benchmark, base_edges, update_batches):
         new_src = np.concatenate([src[keep], adds[0]])
         new_dst = np.concatenate([dst[keep], adds[1]])
         new_src, new_dst = ensure_sorted(new_src, new_dst)
-        return build_csr_serial(new_src, new_dst, N_NODES)
+        return open_store("csr-serial", new_src, new_dst, N_NODES)
 
     g = benchmark.pedantic(rebuild, rounds=3, iterations=1)
     assert g.num_edges > 0
@@ -109,7 +109,7 @@ def test_dynamic_tradeoff_report(benchmark, base_edges, update_batches):
             cur_src = np.concatenate([cur_src[keep], adds[0]])
             cur_dst = np.concatenate([cur_dst[keep], adds[1]])
             cur_src, cur_dst = ensure_sorted(cur_src, cur_dst)
-            static = build_csr_serial(cur_src, cur_dst, N_NODES)
+            static = open_store("csr-serial", cur_src, cur_dst, N_NODES)
         static_per_batch_ms = (time.perf_counter() - start) / N_BATCHES * 1e3
 
         # query price: neighbor scan latency

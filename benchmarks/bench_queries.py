@@ -21,7 +21,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.tables import render_series, render_table
-from repro.csr import BitPackedCSR, build_csr_serial
+from repro import open_store
 from repro.parallel import SerialExecutor, SimulatedMachine
 from repro.query import (
     QueryEngine,
@@ -47,8 +47,8 @@ SPEEDUP_FLOOR = 2.0 if os.environ.get("CI") else 5.0
 @pytest.fixture(scope="module")
 def stores(medium_standin):
     ds = medium_standin
-    csr = build_csr_serial(ds.sources, ds.destinations, ds.num_nodes)
-    return {"csr": csr, "packed": BitPackedCSR.from_csr(csr)}
+    args = (ds.sources, ds.destinations, ds.num_nodes)
+    return {"csr": open_store("csr-serial", *args), "packed": open_store("packed", *args)}
 
 
 @pytest.fixture(scope="module")

@@ -23,7 +23,7 @@ import pytest
 
 from repro.analysis.serving import render_serve_report
 from repro.analysis.tables import render_table
-from repro.csr import BitPackedCSR, build_csr_serial
+from repro import open_store
 from repro.query import QueryEngine
 from repro.serve import (
     DONE,
@@ -49,9 +49,7 @@ SPEEDUP_FLOOR = 2.0
 @pytest.fixture(scope="module")
 def packed(medium_standin):
     ds = medium_standin
-    return BitPackedCSR.from_csr(
-        build_csr_serial(ds.sources, ds.destinations, ds.num_nodes)
-    )
+    return open_store("packed", ds.sources, ds.destinations, ds.num_nodes)
 
 
 @pytest.fixture(scope="module")

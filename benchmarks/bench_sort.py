@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.tables import render_series
-from repro.csr import build_bitpacked_csr
+from repro import open_store
 from repro.parallel import SerialExecutor, SimulatedMachine
 from repro.parallel.sort import parallel_sort
 
@@ -40,8 +40,8 @@ def test_parallel_sort_wallclock(benchmark, shuffled):
 def test_build_with_sort_wallclock(benchmark, shuffled):
     src, dst, n = shuffled
     packed = benchmark.pedantic(
-        build_bitpacked_csr,
-        args=(src, dst, n),
+        open_store,
+        args=("packed", src, dst, n),
         kwargs={"sort": True},
         rounds=3,
         iterations=1,
@@ -57,10 +57,10 @@ def test_sorted_vs_unsorted_scaling_report(benchmark, medium_standin, shuffled):
         series = {"pre-sorted (paper contract)": {}, "raw + parallel sort": {}}
         for p in (1, 4, 16, 64):
             m = SimulatedMachine(p)
-            build_bitpacked_csr(ds.sources, ds.destinations, ds.num_nodes, m)
+            open_store("packed", ds.sources, ds.destinations, ds.num_nodes, executor=m)
             series["pre-sorted (paper contract)"][p] = m.elapsed_ms()
             m = SimulatedMachine(p)
-            build_bitpacked_csr(ssrc, sdst, n, m, sort=True)
+            open_store("packed", ssrc, sdst, n, executor=m, sort=True)
             series["raw + parallel sort"][p] = m.elapsed_ms()
         return series
 
@@ -75,5 +75,5 @@ def test_sorted_vs_unsorted_scaling_report(benchmark, medium_standin, shuffled):
     report(
         "Input-contract ablation: pipeline time (simulated ms) with and "
         "without the pre-sorted assumption",
-        render_series("build_bitpacked_csr on pokec stand-in", series),
+        render_series("packed-CSR build on pokec stand-in", series),
     )

@@ -11,13 +11,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.tables import render_table
-from repro.baselines import (
-    AdjacencyListStore,
-    EdgeListStore,
-    UnsortedEdgeListStore,
-)
-from repro.bitpack.k2tree import K2Tree
-from repro.csr import BitPackedCSR, build_csr_serial
+from repro import open_store
 from repro.utils import human_bytes
 
 from conftest import report
@@ -36,14 +30,14 @@ def small_graph():
 @pytest.fixture(scope="module")
 def all_stores(small_graph):
     ds = small_graph
-    csr = build_csr_serial(ds.sources, ds.destinations, ds.num_nodes)
+    args = (ds.sources, ds.destinations, ds.num_nodes)
     return {
-        "csr": csr,
-        "bitpacked-csr": BitPackedCSR.from_csr(csr),
-        "k2tree": K2Tree.from_csr(csr),
-        "edgelist-sorted": EdgeListStore(ds.sources, ds.destinations, ds.num_nodes),
-        "edgelist-raw": UnsortedEdgeListStore(ds.sources, ds.destinations, ds.num_nodes),
-        "adjlist": AdjacencyListStore(ds.sources, ds.destinations, ds.num_nodes),
+        "csr": open_store("csr-serial", *args),
+        "bitpacked-csr": open_store("packed", *args),
+        "k2tree": open_store("k2tree", *args),
+        "edgelist-sorted": open_store("edgelist", *args),
+        "edgelist-raw": open_store("edgelist-unsorted", *args),
+        "adjlist": open_store("adjlist", *args),
     }
 
 

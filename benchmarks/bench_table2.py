@@ -13,7 +13,7 @@ import pytest
 
 from repro.analysis.compare import check_table2, render_checks
 from repro.analysis.experiments import run_table2
-from repro.csr import build_bitpacked_csr
+from repro import open_store
 
 from conftest import report
 
@@ -23,8 +23,8 @@ def test_build_wallclock(benchmark, standins, name):
     """Wall-clock of edge list -> bit-packed CSR (p=1, real time)."""
     ds = standins[name]
     result = benchmark.pedantic(
-        build_bitpacked_csr,
-        args=(ds.sources, ds.destinations, ds.num_nodes),
+        open_store,
+        args=("packed", ds.sources, ds.destinations, ds.num_nodes),
         rounds=3,
         iterations=1,
     )

@@ -14,9 +14,24 @@ Public surface, by paper section:
   :mod:`repro.datasets`, :mod:`repro.baselines`.
 * Executors: :class:`SerialExecutor`, :class:`ThreadExecutor`, and the
   :class:`SimulatedMachine` used for processor sweeps (DESIGN.md §1).
+* Scaling layer: :func:`open_store` (the store registry) and
+  :mod:`repro.shard` — range/hash-partitioned stores with
+  scatter-gather batch execution (:class:`ShardedStore`).
 """
 
-from . import analysis, baselines, bitpack, csr, datasets, parallel, query, serve, temporal
+from . import (
+    analysis,
+    baselines,
+    bitpack,
+    csr,
+    datasets,
+    parallel,
+    query,
+    serve,
+    shard,
+    stores,
+    temporal,
+)
 from .csr import (
     BitPackedCSR,
     CSRGraph,
@@ -46,6 +61,8 @@ from .parallel import (
 )
 from .query import QueryEngine
 from .serve import GraphQueryServer
+from .shard import ShardedStore, build_sharded_store
+from .stores import available_stores, open_store, register_store
 from .temporal import EventList, TemporalCSR, build_tcsr
 
 __version__ = "1.0.0"
@@ -59,6 +76,8 @@ __all__ = [
     "parallel",
     "query",
     "serve",
+    "shard",
+    "stores",
     "temporal",
     "BitPackedCSR",
     "CSRGraph",
@@ -83,6 +102,11 @@ __all__ = [
     "prefix_sum_parallel",
     "QueryEngine",
     "GraphQueryServer",
+    "ShardedStore",
+    "build_sharded_store",
+    "available_stores",
+    "open_store",
+    "register_store",
     "EventList",
     "TemporalCSR",
     "build_tcsr",

@@ -39,9 +39,14 @@ class StoreFootprint:
 
 
 def footprint(name: str, store) -> StoreFootprint:
-    """Measured footprint of any object exposing ``memory_bytes``."""
+    """Measured footprint of any :class:`~repro.query.stores.GraphStore`.
+
+    ``num_edges`` is a *required* protocol member, so this reads it
+    directly — a non-conforming object fails loudly with
+    ``AttributeError`` instead of silently reporting 0 bits/edge.
+    """
     nbytes = int(store.memory_bytes())
-    m = int(getattr(store, "num_edges", 0))
+    m = int(store.num_edges)
     return StoreFootprint(name, nbytes, 8.0 * nbytes / m if m else 0.0)
 
 

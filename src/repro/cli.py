@@ -4,10 +4,13 @@ Commands
 --------
 * ``generate`` — write a synthetic edge list (rmat / er / ba / standin).
 * ``build`` — edge list file → bit-packed CSR ``.npz``, with the
-  parallel pipeline of Section III on a simulated p-processor machine.
-* ``info`` — inspect a packed CSR file.
-* ``query`` — neighbours / edge existence against a packed CSR file,
-  optionally through an LRU row cache (``--cache-elements``).
+  parallel pipeline of Section III on a simulated p-processor machine;
+  ``--shards N --partitioner {range,hash}`` builds a sharded store
+  (one sub-store per virtual processor group) instead.
+* ``info`` — inspect a packed CSR (or sharded) file.
+* ``query`` — neighbours / edge existence against a store file,
+  optionally through an LRU row cache (``--cache-elements``) and/or
+  re-sharded in memory (``--shards N``).
 * ``bench`` — regenerate Table II or Figures 6-7 from the paper.
 * ``serve-bench`` — coalesced vs single-request serving throughput on
   a synthetic open-loop workload (the :mod:`repro.serve` subsystem).
@@ -22,13 +25,23 @@ import numpy as np
 
 from .analysis.experiments import render_fig6, render_fig7, run_fig6, run_table2
 from .csr.io import edge_list_text_size, read_edge_list, write_edge_list
-from .csr.packed import BitPackedCSR, build_bitpacked_csr
+from .csr.packed import BitPackedCSR
 from .datasets import ba_edges, er_edges, rmat_edges, standin
 from .errors import ReproError
 from .parallel import SerialExecutor, SimulatedMachine
+from .shard import PARTITIONER_KINDS, ShardedStore
+from .stores import open_store
 from .utils import human_bytes
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_shard_flags(cmd) -> None:
+    cmd.add_argument("--shards", type=int, default=1,
+                     help="shard the store this many ways (1 = monolithic)")
+    cmd.add_argument("--partitioner", choices=sorted(PARTITIONER_KINDS),
+                     default="range",
+                     help="shard routing: contiguous node ranges or splitmix64")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--gap", action="store_true", help="gap-encode rows")
     build.add_argument("--no-sort", action="store_true",
                        help="input is already sorted by source")
+    _add_shard_flags(build)
 
     info = sub.add_parser("info", help="inspect a packed CSR file")
     info.add_argument("input", help=".npz produced by 'build'")
@@ -68,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--cache-elements", type=int, default=0,
                        help="wrap the store in an LRU row cache of this many "
                        "decoded elements and print its stats after the batch")
+    _add_shard_flags(query)
     qsub = query.add_subparsers(dest="query_kind", required=True)
     qn = qsub.add_parser("neighbors", help="list a node's neighbours")
     qn.add_argument("nodes", type=int, nargs="+")
@@ -105,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-elements", type=int, default=0,
                        help="row-cache capacity on the serve path (0 = off)")
     serve.add_argument("--seed", type=int, default=2023)
+    _add_shard_flags(serve)
 
     rep = sub.add_parser("report", help="write the full reproduction report")
     rep.add_argument("output", help="markdown output path")
@@ -143,24 +159,56 @@ def _cmd_build(args) -> int:
     machine = (
         SimulatedMachine(args.processors) if args.processors > 1 else SerialExecutor()
     )
-    packed = build_bitpacked_csr(
-        src, dst, n, machine, sort=not args.no_sort, gap_encode=args.gap
-    )
-    packed.save(args.output)
+    inner = "gap" if args.gap else "packed"
+    if args.shards > 1:
+        store = open_store(
+            "sharded", src, dst, n, shards=args.shards,
+            partitioner=args.partitioner, inner=inner,
+            executor=machine, sort=not args.no_sort,
+        )
+    else:
+        store = open_store(
+            inner, src, dst, n, executor=machine, sort=not args.no_sort
+        )
+    store.save(args.output)
     print(f"input : {len(src):,} edges, {n:,} nodes "
           f"({human_bytes(edge_list_text_size(src, dst))} as text)")
-    print(f"output: {packed}")
+    print(f"output: {store}")
     if isinstance(machine, SimulatedMachine):
         print(f"build : {machine.elapsed_ms():.3f} simulated ms on p={args.processors}")
     return 0
 
 
-def _load(path) -> BitPackedCSR:
-    return BitPackedCSR.load(path)
+def _load(path):
+    """Open a ``.npz`` store file, monolithic or sharded."""
+    with np.load(path) as data:
+        sharded = "store_kind" in data.files and str(data["store_kind"]) == "sharded"
+    return ShardedStore.load(path) if sharded else BitPackedCSR.load(path)
+
+
+def _reshard(store, args):
+    """Re-partition a loaded store in memory when ``--shards N`` asks for it."""
+    if args.shards <= 1 or isinstance(store, ShardedStore):
+        return store
+    src, dst = store.to_csr().edges()
+    return open_store(
+        "sharded", src, dst, store.num_nodes, shards=args.shards,
+        partitioner=args.partitioner,
+        inner="gap" if store.gap_encoded else "packed",
+    )
 
 
 def _cmd_info(args) -> int:
     packed = _load(args.input)
+    if isinstance(packed, ShardedStore):
+        print(packed)
+        print(f"  nodes          : {packed.num_nodes:,}")
+        print(f"  edges          : {packed.num_edges:,}")
+        print(f"  partitioner    : {packed.partitioner.kind}")
+        print(f"  payload        : {human_bytes(packed.memory_bytes())}")
+        for s, shard in enumerate(packed.shards):
+            print(f"  shard {s:<2}       : {shard}")
+        return 0
     print(packed)
     print(f"  nodes          : {packed.num_nodes:,}")
     print(f"  edges          : {packed.num_edges:,}")
@@ -177,7 +225,7 @@ def _cmd_query(args) -> int:
     from .analysis.tracing import render_cache_stats
     from .query import RowCache
 
-    store = _load(args.input)
+    store = _reshard(_load(args.input), args)
     if args.cache_elements > 0:
         store = RowCache(store, capacity=args.cache_elements)
     rc = 0
@@ -206,16 +254,18 @@ def _cmd_bench(args) -> int:
     return 0
 
 
-def _serve_store(args) -> BitPackedCSR:
+def _serve_store(args):
     """The store a serve bench runs against: loaded, or a seeded R-MAT."""
     if args.input:
-        return _load(args.input)
-    from .csr.builder import build_csr_serial, ensure_sorted
-
+        return _reshard(_load(args.input), args)
     scale = max(1, int(np.ceil(np.log2(max(2, args.nodes)))))
     src, dst, n = rmat_edges(scale, args.edges, rng=np.random.default_rng(args.seed))
-    src, dst = ensure_sorted(src, dst)
-    return BitPackedCSR.from_csr(build_csr_serial(src, dst, n))
+    if args.shards > 1:
+        return open_store(
+            "sharded", src, dst, n, shards=args.shards,
+            partitioner=args.partitioner, sort=True,
+        )
+    return open_store("packed", src, dst, n, sort=True)
 
 
 def _run_serve(store, workload, args, *, batch: int, wait_us: float):

@@ -328,6 +328,48 @@ class SimulatedMachine(Executor):
         self._advance(self.cost_model.time_ns(acc.total), "serial", label, ())
         return result
 
+    def split(self, groups: int) -> list["SimulatedMachine"]:
+        """Carve this machine into *groups* virtual-processor groups.
+
+        Each sub-machine gets ``p // groups`` processors (at least 1)
+        and shares this machine's cost model; its clock starts at zero.
+        Run one concurrent unit of work (e.g. one shard build) on each
+        group, then fold the groups' clocks back with :meth:`absorb` —
+        the groups ran side by side, so the parent advances by their
+        *maximum*.
+        """
+        if groups < 1:
+            raise ValidationError("group count must be >= 1")
+        width = max(1, self.p // groups)
+        return [
+            SimulatedMachine(
+                width, self.cost_model, record_trace=self.record_trace,
+                memory_bandwidth_gbs=self.memory_bandwidth_gbs,
+                cache_bytes=self.cache_bytes,
+            )
+            for _ in range(groups)
+        ]
+
+    def absorb(
+        self,
+        sub_machines: Sequence["SimulatedMachine"],
+        *,
+        label: str = "",
+        kind: str = "parallel",
+    ) -> float:
+        """Fold concurrent sub-machine clocks into this machine's clock.
+
+        The sub-machines (from :meth:`split`) ran their work at the
+        same time on disjoint processor groups, so the phase's duration
+        is the slowest group's clock — the critical path.  Appends one
+        trace record (per-group times as ``per_proc_ns``) and returns
+        the absorbed duration in nanoseconds.
+        """
+        per_group = tuple(float(m.elapsed_ns()) for m in sub_machines)
+        duration = max(per_group) if per_group else 0.0
+        self._advance(duration, kind, label, per_group)
+        return duration
+
     # ------------------------------------------------------------------
     def _advance(
         self, duration: float, kind: str, label: str, per_proc: tuple[float, ...]

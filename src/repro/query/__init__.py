@@ -1,5 +1,6 @@
 """Parallel querying algorithms of Section V (Algorithms 6-9)."""
 
+from .capabilities import StoreCapabilities, capabilities
 from .edges import batch_edge_existence, single_edge_exists
 from .engine import QueryEngine
 from .neighbors import batch_neighbors
@@ -13,6 +14,8 @@ __all__ = [
     "batch_neighbors",
     "neighbors_batch",
     "GraphStore",
+    "StoreCapabilities",
+    "capabilities",
     "RowCache",
     "RowCacheStats",
     "row_decode_cost",

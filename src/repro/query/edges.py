@@ -23,7 +23,7 @@ from ..errors import QueryError, ValidationError
 from ..parallel.chunking import chunk_bounds
 from ..parallel.cost import Cost
 from ..parallel.machine import Executor, SerialExecutor, TaskContext
-from .stores import GraphStore, neighbors_batch, row_decode_cost
+from .stores import GraphStore, capabilities, neighbors_batch, row_decode_cost
 
 __all__ = ["batch_edge_existence", "single_edge_exists"]
 
@@ -76,6 +76,7 @@ def batch_edge_existence(
     the binary-search step bound.
     """
     executor = executor or SerialExecutor()
+    caps = capabilities(store)
     if method not in _METHODS:
         raise ValidationError(f"unknown search method {method!r}")
     qs = np.asarray(edges, dtype=np.int64)
@@ -94,12 +95,12 @@ def batch_edge_existence(
         inspected = 0
         if e > s:
             uniq, uidx = np.unique(qs[s:e, 0], return_inverse=True)
-            flat, offs = neighbors_batch(store, uniq)
+            flat, offs = neighbors_batch(store, uniq, caps)
             counts_u = np.diff(offs)
             counts_q = counts_u[uidx]
             # billed as if each query decoded its own row, like the
             # scalar path — the dedup is a wall-clock win only
-            decode_units = row_decode_cost(store, int(counts_q.sum()))
+            decode_units = row_decode_cost(store, int(counts_q.sum()), caps)
             # disjoint per-row key ranges keep the concatenation sorted
             # — provided each row is itself sorted
             keyed = flat.astype(np.int64) + np.repeat(

@@ -19,7 +19,7 @@ from ..errors import QueryError
 from ..parallel.chunking import chunk_bounds
 from ..parallel.cost import Cost
 from ..parallel.machine import Executor, SerialExecutor, TaskContext
-from .stores import GraphStore, neighbors_batch, row_decode_cost, row_dtype
+from .stores import GraphStore, capabilities, neighbors_batch, row_decode_cost
 
 __all__ = ["batch_neighbors"]
 
@@ -36,6 +36,7 @@ def batch_neighbors(
     parallel work starts, so a bad batch cannot partially execute.
     """
     executor = executor or SerialExecutor()
+    caps = capabilities(store)
     queries = np.asarray(unodes, dtype=np.int64)
     if queries.ndim != 1:
         raise QueryError("query array must be 1-D")
@@ -50,19 +51,19 @@ def batch_neighbors(
         s, e = int(bounds[cid]), int(bounds[cid + 1])
         decode_units = 0.0
         if e > s:
-            flat, offs = neighbors_batch(store, queries[s:e])
+            flat, offs = neighbors_batch(store, queries[s:e], caps)
             for i in range(s, e):
                 results[i] = flat[offs[i - s] : offs[i - s + 1]]
             # degree-linear decode charge, so the chunk total equals the
             # per-row sum the scalar path would have charged
-            decode_units = row_decode_cost(store, int(offs[-1]))
+            decode_units = row_decode_cost(store, int(offs[-1]), caps)
         ctx.charge(Cost(reads=e - s, writes=e - s, bit_ops=decode_units))
 
     executor.parallel(
         [_bind(run_chunk, cid) for cid in range(executor.p)],
         label="query:neighbors",
     )
-    empty = np.zeros(0, dtype=row_dtype(store))
+    empty = np.zeros(0, dtype=caps.row_dtype)
     return [row if row is not None else empty for row in results]
 
 

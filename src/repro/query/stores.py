@@ -1,8 +1,15 @@
 """The store protocol every queryable graph representation satisfies.
 
 Algorithms 6-9 are written against this surface, so one harness can
-query the uncompressed CSR, the bit-packed CSR, and every baseline
-store interchangeably — the apples-to-apples setup of Section VI.
+query the uncompressed CSR, the bit-packed CSR, the sharded store, and
+every baseline store interchangeably — the apples-to-apples setup of
+Section VI.
+
+Capability resolution (which optional members a store provides) lives
+in :mod:`repro.query.capabilities`; this module contains **no**
+``getattr`` probing — every dispatcher below resolves a
+:class:`~repro.query.capabilities.StoreCapabilities` once and branches
+on its explicit fields.
 """
 
 from __future__ import annotations
@@ -11,20 +18,43 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-__all__ = ["GraphStore", "neighbors_batch", "row_decode_cost", "row_dtype"]
+from .capabilities import StoreCapabilities, capabilities
+
+__all__ = [
+    "GraphStore",
+    "StoreCapabilities",
+    "capabilities",
+    "neighbors_batch",
+    "row_decode_cost",
+    "row_dtype",
+]
 
 
 @runtime_checkable
 class GraphStore(Protocol):
     """Minimal query surface of a graph store.
 
-    Stores *may* additionally provide ``neighbors_batch(unodes) ->
-    (flat, offsets)`` — a bulk row fetch returning the concatenation of
-    every requested row plus ``int64`` offsets delimiting row *i* as
-    ``flat[offsets[i]:offsets[i + 1]]`` — and a ``row_dtype``
-    attribute naming the dtype of decoded rows.  Both are optional:
-    the module-level :func:`neighbors_batch` dispatcher falls back to
-    per-row :meth:`neighbors` calls, so baseline stores work unchanged.
+    Optional members (resolved once per store by
+    :func:`~repro.query.capabilities.capabilities`, never probed
+    inline):
+
+    ``neighbors_batch(unodes) -> (flat, offsets)``
+        Bulk row fetch returning the concatenation of every requested
+        row plus ``int64`` offsets delimiting row *i* as
+        ``flat[offsets[i]:offsets[i + 1]]``.  Sets
+        ``StoreCapabilities.has_native_batch``; without it the
+        module-level :func:`neighbors_batch` dispatcher falls back to
+        per-row :meth:`neighbors` calls, so baseline stores work
+        unchanged.
+    ``row_dtype``
+        Dtype of decoded neighbour rows.  Defaults to the ``indices``
+        dtype for array-backed stores, ``uint64`` for packed stores,
+        ``int64`` otherwise.
+    ``column_width``
+        Bits per packed column field.  Declaring it marks the store as
+        packed (``StoreCapabilities.is_packed``) and sets the
+        per-element decode charge (``StoreCapabilities.decode_bits``)
+        used by :func:`row_decode_cost`.
     """
 
     num_nodes: int
@@ -47,54 +77,45 @@ class GraphStore(Protocol):
         ...
 
 
-def row_dtype(store) -> np.dtype:
-    """Dtype of *store*'s decoded neighbour rows.
-
-    Prefers the store's own ``row_dtype`` declaration; packed stores
-    (recognised by ``column_width``) decode to ``uint64``, array-backed
-    stores expose their ``indices`` dtype, and anything else defaults
-    to ``int64``.
-    """
-    declared = getattr(store, "row_dtype", None)
-    if declared is not None:
-        return np.dtype(declared)
-    if getattr(store, "column_width", None) is not None:
-        return np.dtype(np.uint64)
-    indices = getattr(store, "indices", None)
-    if indices is not None:
-        return indices.dtype
-    return np.dtype(np.int64)
+def row_dtype(store, caps: StoreCapabilities | None = None) -> np.dtype:
+    """Dtype of *store*'s decoded neighbour rows."""
+    caps = caps if caps is not None else capabilities(store)
+    return caps.row_dtype
 
 
-def neighbors_batch(store, unodes) -> tuple[np.ndarray, np.ndarray]:
+def neighbors_batch(
+    store, unodes, caps: StoreCapabilities | None = None
+) -> tuple[np.ndarray, np.ndarray]:
     """Bulk row fetch with a scalar fallback — ``(flat, offsets)``.
 
-    Dispatches to the store's native ``neighbors_batch`` when it has
-    one (one packed read per chunk for :class:`~repro.csr.BitPackedCSR`,
-    one gather for :class:`~repro.csr.CSRGraph`); otherwise loops
-    per-row :meth:`GraphStore.neighbors` calls, so every baseline store
-    keeps working unchanged.  Values and dtype are identical between
-    the two paths.
+    Dispatches to the store's native ``neighbors_batch`` when its
+    capabilities declare one (one packed read per chunk for
+    :class:`~repro.csr.BitPackedCSR`, one gather for
+    :class:`~repro.csr.CSRGraph`, a scatter-gather fan-out for
+    :class:`~repro.shard.ShardedStore`); otherwise loops per-row
+    :meth:`GraphStore.neighbors` calls, so every baseline store keeps
+    working unchanged.  Values and dtype are identical between the two
+    paths.
     """
-    native = getattr(store, "neighbors_batch", None)
-    if native is not None:
-        return native(unodes)
+    caps = caps if caps is not None else capabilities(store)
+    if caps.has_native_batch:
+        return store.neighbors_batch(unodes)
     us = np.asarray(unodes, dtype=np.int64)
     rows = [store.neighbors(int(u)) for u in us]
     offsets = np.zeros(len(rows) + 1, dtype=np.int64)
     np.cumsum([r.shape[0] for r in rows], out=offsets[1:])
     if not rows:
-        return np.zeros(0, dtype=row_dtype(store)), offsets
+        return np.zeros(0, dtype=caps.row_dtype), offsets
     return np.concatenate(rows), offsets
 
 
-def row_decode_cost(store, degree: int) -> float:
+def row_decode_cost(
+    store, degree: int, caps: StoreCapabilities | None = None
+) -> float:
     """Abstract work units to materialise one row of *store*.
 
     Packed stores pay per-bit decode; array-backed stores pay one read
     per neighbour.  Used by the query engine's cost charges.
     """
-    width = getattr(store, "column_width", None)
-    if width is not None:
-        return float(degree * width)
-    return float(degree)
+    caps = caps if caps is not None else capabilities(store)
+    return float(degree * caps.decode_bits)

@@ -1,0 +1,31 @@
+"""Sharded graph storage with scatter-gather query execution.
+
+Range- or hash-partition the vertex set across per-shard sub-stores
+(each any existing store kind), route point queries through the
+partitioner, and answer batch queries by scattering deduplicated keys
+to shards, running the vectorised kernels shard-locally, and gathering
+results back in query order — bit-exact with the monolithic stores.
+"""
+
+from .build import build_sharded_store, shard_edge_list
+from .partition import (
+    PARTITIONER_KINDS,
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    make_partitioner,
+    partitioner_from_state,
+)
+from .store import ShardedStore
+
+__all__ = [
+    "ShardedStore",
+    "build_sharded_store",
+    "shard_edge_list",
+    "Partitioner",
+    "RangePartitioner",
+    "HashPartitioner",
+    "make_partitioner",
+    "partitioner_from_state",
+    "PARTITIONER_KINDS",
+]

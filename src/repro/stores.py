@@ -1,0 +1,182 @@
+"""The store registry and :func:`open_store` — one construction path.
+
+Every queryable representation used to be built through its own
+constructor shape (``build_csr(...)``, ``BitPackedCSR.from_csr(...)``,
+``AdjacencyListStore(src, dst, n)``, ...), so the CLI, benchmarks, and
+tests each hand-rolled five call conventions.  This registry (the
+pattern of :mod:`repro.bitpack.registry` and
+:mod:`repro.datasets.registry`) gives them one:
+
+    store = repro.open_store("packed", src, dst, n, gap_encode=True)
+    store = repro.open_store("sharded", src, dst, n, shards=4,
+                             partitioner="hash", inner="packed")
+
+Old constructors keep working — registered builders are thin adapters
+over them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .errors import ValidationError
+
+__all__ = [
+    "StoreSpec",
+    "register_store",
+    "get_store_spec",
+    "available_stores",
+    "open_store",
+]
+
+
+@dataclass(frozen=True)
+class StoreSpec:
+    """One registered store kind.
+
+    ``builder`` takes ``(sources, destinations, n, **opts)`` and
+    returns a :class:`~repro.query.stores.GraphStore`.  Every builder
+    accepts ``executor=`` (parallel kinds run their pipeline on it,
+    array-backed baselines ignore it) so callers can pass one
+    uniformly.
+    """
+
+    kind: str
+    builder: Callable
+    description: str
+
+
+_REGISTRY: dict[str, StoreSpec] = {}
+
+
+def register_store(
+    kind: str, builder: Callable, description: str, *, replace: bool = False
+) -> StoreSpec:
+    """Add a store kind to the registry (idempotent with ``replace=True``)."""
+    if kind in _REGISTRY and not replace:
+        raise ValidationError(f"store kind '{kind}' already registered")
+    spec = StoreSpec(kind, builder, description)
+    _REGISTRY[kind] = spec
+    return spec
+
+
+def get_store_spec(kind: str) -> StoreSpec:
+    """Look up a registered store kind by name."""
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise ValidationError(
+            f"unknown store kind '{kind}' (known: {known})"
+        ) from None
+
+
+def available_stores() -> list[str]:
+    """Names of every registered store kind, sorted."""
+    return sorted(_REGISTRY)
+
+
+def open_store(kind: str, sources, destinations, n: int, **opts):
+    """Build a graph store of *kind* from an edge list.
+
+    The single store-construction entry point used by the CLI and the
+    benchmarks.  ``opts`` are kind-specific (see each kind's
+    description via :func:`get_store_spec`); common ones are
+    ``executor=`` and ``sort=``.
+    """
+    return get_store_spec(kind).builder(sources, destinations, n, **opts)
+
+
+# ----------------------------------------------------------------------
+# Built-in kinds: thin adapters over the existing constructors.
+
+def _build_csr(sources, destinations, n, *, executor=None, **opts):
+    from .csr.builder import build_csr
+
+    return build_csr(sources, destinations, n, executor, **opts)
+
+
+def _build_csr_serial(sources, destinations, n, *, executor=None, **opts):
+    from .csr.builder import build_csr_serial
+
+    return build_csr_serial(sources, destinations, n, **opts)
+
+
+def _build_packed(sources, destinations, n, *, executor=None, **opts):
+    from .csr.packed import build_bitpacked_csr
+
+    return build_bitpacked_csr(sources, destinations, n, executor, **opts)
+
+
+def _build_gap(sources, destinations, n, *, executor=None, **opts):
+    from .csr.packed import build_bitpacked_csr
+
+    return build_bitpacked_csr(
+        sources, destinations, n, executor, gap_encode=True, **opts
+    )
+
+
+def _ignores_executor(cls):
+    """Adapter for array-backed baselines built inline from the edge
+    list — they have no parallel pipeline, so ``executor``/``sort`` are
+    accepted (for call-site uniformity) and ignored."""
+
+    def build(sources, destinations, n, *, executor=None, sort=None, **opts):
+        return cls(sources, destinations, n, **opts)
+
+    return build
+
+
+def _build_sharded(sources, destinations, n, **opts):
+    from .shard.build import build_sharded_store
+
+    return build_sharded_store(sources, destinations, n, **opts)
+
+
+def _register_builtins() -> None:
+    from .baselines import (
+        AdjacencyListStore,
+        AdjacencyMatrixStore,
+        BitMatrixStore,
+        EdgeListStore,
+        UnsortedEdgeListStore,
+    )
+    from .bitpack.k2tree import K2Tree
+
+    builtins = [
+        ("csr", _build_csr,
+         "uncompressed CSR via the parallel builder "
+         "(opts: executor, sort, weights, compact, validate)"),
+        ("csr-serial", _build_csr_serial,
+         "uncompressed CSR via the one-shot numpy reference builder "
+         "(opts: sort)"),
+        ("packed", _build_packed,
+         "bit-packed CSR, Algorithm 4 "
+         "(opts: executor, sort, weights, gap_encode)"),
+        ("gap", _build_gap,
+         "bit-packed CSR with per-row gap transform "
+         "(opts: executor, sort, weights)"),
+        ("sharded", _build_sharded,
+         "partitioned store of per-shard sub-stores "
+         "(opts: shards, partitioner, inner, executor, sort, "
+         "cache_elements, + inner kind opts)"),
+        ("adjlist", _ignores_executor(AdjacencyListStore),
+         "per-node sorted neighbour arrays"),
+        ("edgelist", _ignores_executor(EdgeListStore),
+         "sorted (u, v) arrays, binary-searched"),
+        ("edgelist-unsorted", _ignores_executor(UnsortedEdgeListStore),
+         "raw (u, v) arrays, linearly scanned"),
+        ("adjmatrix", _ignores_executor(AdjacencyMatrixStore),
+         "dense 0/1 matrix (small graphs; opts: node_cap)"),
+        ("bitmatrix", _ignores_executor(BitMatrixStore),
+         "bit-packed dense matrix (opts: node_cap)"),
+        ("k2tree", _ignores_executor(K2Tree),
+         "k^2-tree compressed adjacency"),
+    ]
+    for kind, builder, description in builtins:
+        if kind not in _REGISTRY:
+            register_store(kind, builder, description)
+
+
+_register_builtins()

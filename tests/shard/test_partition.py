@@ -1,0 +1,136 @@
+"""Partitioner unit tests: coverage, determinism, balance, round-trip."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.shard import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    make_partitioner,
+    partitioner_from_state,
+)
+
+
+class TestRangePartitioner:
+    def test_even_split_covers_all_nodes(self):
+        part = RangePartitioner.even(100, 4)
+        sid = part.shard_of_array(np.arange(100))
+        assert sid.min() == 0 and sid.max() == 3
+        # contiguous and non-decreasing shard assignment
+        assert np.all(np.diff(sid) >= 0)
+        assert len(np.unique(sid)) == 4
+
+    def test_balanced_equalises_edges_on_skew(self):
+        # node 0 has 900 of 1000 edges; a node-even split would put
+        # everything on shard 0, the edge-balanced cut must not
+        src = np.sort(np.concatenate([np.zeros(900, dtype=np.int64),
+                                      np.arange(1, 101, dtype=np.int64)]))
+        part = RangePartitioner.balanced(src, 200, 4)
+        sid = part.shard_of_array(src)
+        counts = np.bincount(sid, minlength=4)
+        # the hot node is indivisible, but the remaining shards share
+        # the tail instead of sitting empty
+        assert counts[0] <= 900
+        assert part.bounds[0] == 0 and part.bounds[-1] == 200
+
+    def test_balanced_uniform_degrees_near_even(self):
+        src = np.repeat(np.arange(64, dtype=np.int64), 10)
+        part = RangePartitioner.balanced(src, 64, 4)
+        counts = np.bincount(part.shard_of_array(src), minlength=4)
+        assert counts.max() - counts.min() <= 10  # within one row
+
+    def test_empty_edge_list_falls_back_to_even(self):
+        part = RangePartitioner.balanced(np.zeros(0, dtype=np.int64), 40, 4)
+        assert part == RangePartitioner.even(40, 4)
+
+    def test_scalar_matches_vector(self):
+        part = RangePartitioner(np.array([0, 3, 3, 10]))
+        us = np.arange(10)
+        vec = part.shard_of_array(us)
+        assert [part.shard_of(int(u)) for u in us] == vec.tolist()
+
+    @pytest.mark.parametrize("bounds", [[1, 5], [0, 5, 3], [0]])
+    def test_bad_bounds_rejected(self, bounds):
+        with pytest.raises(ValidationError):
+            RangePartitioner(np.asarray(bounds))
+
+    def test_state_round_trip(self):
+        part = RangePartitioner.even(33, 5)
+        clone = partitioner_from_state(part.state())
+        assert clone == part and isinstance(clone, RangePartitioner)
+
+    def test_protocol_and_nbytes(self):
+        part = RangePartitioner.even(10, 2)
+        assert isinstance(part, Partitioner)
+        assert part.nbytes() == part.bounds.nbytes
+
+
+class TestHashPartitioner:
+    def test_deterministic_and_in_range(self):
+        part = HashPartitioner(7)
+        us = np.arange(10_000)
+        a, b = part.shard_of_array(us), part.shard_of_array(us)
+        assert np.array_equal(a, b)
+        assert a.min() >= 0 and a.max() < 7
+
+    def test_roughly_uniform(self):
+        part = HashPartitioner(8)
+        counts = np.bincount(part.shard_of_array(np.arange(80_000)), minlength=8)
+        assert counts.min() > 80_000 / 8 * 0.9
+
+    def test_seed_changes_assignment(self):
+        us = np.arange(1000)
+        a = HashPartitioner(4, seed=0).shard_of_array(us)
+        b = HashPartitioner(4, seed=1).shard_of_array(us)
+        assert not np.array_equal(a, b)
+
+    def test_scalar_matches_vector(self):
+        part = HashPartitioner(5, seed=3)
+        us = np.arange(50)
+        assert [part.shard_of(int(u)) for u in us] == part.shard_of_array(us).tolist()
+
+    def test_state_round_trip(self):
+        part = HashPartitioner(6, seed=9)
+        clone = partitioner_from_state(part.state())
+        assert clone == part and isinstance(clone, HashPartitioner)
+        assert isinstance(part, Partitioner)
+
+
+class TestMakePartitioner:
+    def test_kind_names(self):
+        src = np.sort(np.random.default_rng(0).integers(0, 50, 200))
+        assert make_partitioner("range", 4, src, 50).kind == "range"
+        assert make_partitioner("hash", 4, src, 50).kind == "hash"
+
+    def test_instance_passthrough(self):
+        part = HashPartitioner(3)
+        assert make_partitioner(part, 3, None, 10) is part
+
+    def test_instance_shard_mismatch(self):
+        with pytest.raises(ValidationError):
+            make_partitioner(HashPartitioner(3), 4, None, 10)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValidationError):
+            make_partitioner("modulo", 4, np.zeros(0, dtype=np.int64), 10)
+
+    def test_bad_state_kind(self):
+        with pytest.raises(ValidationError):
+            partitioner_from_state({"kind": "modulo"})
+
+
+@given(
+    n=st.integers(1, 500),
+    k=st.integers(1, 16),
+    kind=st.sampled_from(["range", "hash"]),
+)
+def test_every_node_owned_by_exactly_one_shard(n, k, kind):
+    src = np.sort(np.random.default_rng(n * 31 + k).integers(0, n, 3 * n))
+    part = make_partitioner(kind, k, src, n)
+    sid = part.shard_of_array(np.arange(n))
+    assert sid.shape == (n,)
+    assert sid.min() >= 0 and sid.max() < k
