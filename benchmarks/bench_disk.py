@@ -1,0 +1,242 @@
+"""Memory-mapped disk store vs the in-memory packed CSR.
+
+The gate: on a 10k-query Zipf workload the disk store's batched query
+path must stay within **2x** of the in-memory packed store (qps ratio
+>= 0.5x) — the price of selective row loading, paid once per cold page
+and amortised by the OS page cache on the hot hubs.  Shared CI runners
+add I/O noise, so CI only asserts a 0.2x floor.
+
+Also measured: cold open (manifest parse, nothing mapped), the
+out-of-core builder's traced heap peak on a graph ~20x the chunk size
+(the bulk payload lives in memmaps tracemalloc never sees — that is
+the point), and a segment-size sweep for EXPERIMENTS.md.  Throughput
+baselines land in ``BENCH_disk.json`` under ``BENCH_WRITE_BASELINE=1``
+(or when the file is missing).
+"""
+
+import json
+import os
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import open_store
+from repro.analysis.tables import render_table
+from repro.csr.io import read_edge_list_binary, write_edge_list_binary
+from repro.disk import DiskStore, build_disk_store, write_disk_store
+from repro.query import batch_edge_existence
+from repro.serve import zipf_nodes
+
+from conftest import report
+
+N_QUERIES = 10_000
+SKEW = 1.2
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_disk.json"
+
+# Local acceptance bar: disk-backed Zipf serving at >= 0.5x the
+# in-memory packed qps (measured ~0.7-1.0x once the page cache is warm
+# — the decode kernels are identical; only page faults differ).  CI
+# runners have noisy shared disks, so CI asserts a 0.2x floor.
+PARITY_FLOOR = 0.2 if os.environ.get("CI") else 0.5
+
+
+@pytest.fixture(scope="module")
+def mono(medium_standin):
+    ds = medium_standin
+    return open_store("packed", ds.sources, ds.destinations, ds.num_nodes)
+
+
+@pytest.fixture(scope="module")
+def disk(mono, tmp_path_factory):
+    return write_disk_store(mono, tmp_path_factory.mktemp("bench-disk") / "store")
+
+
+@pytest.fixture(scope="module")
+def workload(medium_standin):
+    """10k Zipf node lookups + 10k Zipf-source edge probes, half planted."""
+    ds = medium_standin
+    n = ds.num_nodes
+    rng = np.random.default_rng(17)
+    unodes = zipf_nodes(N_QUERIES, n, SKEW, rng=rng)
+    qs = np.stack(
+        [zipf_nodes(N_QUERIES, n, SKEW, rng=rng), rng.integers(0, n, N_QUERIES)],
+        axis=1,
+    )
+    picks = rng.integers(0, ds.num_edges, N_QUERIES // 2)
+    qs[: N_QUERIES // 2, 0] = ds.sources[picks]
+    qs[: N_QUERIES // 2, 1] = ds.destinations[picks]
+    return unodes, qs
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _serve_workload(store, unodes, qs):
+    flat_offs = store.neighbors_batch(unodes)
+    hits = batch_edge_existence(store, qs)
+    return flat_offs, hits
+
+
+def test_disk_bitexact_on_workload(mono, disk, workload):
+    unodes, qs = workload
+    want_fo, want_hits = _serve_workload(mono, unodes, qs)
+    got_fo, got_hits = _serve_workload(disk, unodes, qs)
+    assert np.array_equal(got_fo[0], want_fo[0])
+    assert np.array_equal(got_fo[1], want_fo[1])
+    assert np.array_equal(got_hits, want_hits)
+
+
+def test_cold_open_is_lazy(mono, disk):
+    """Opening a store directory parses the manifest and maps nothing;
+    resident bytes stay a sliver of the on-disk payload."""
+    t_open, cold = _best_of(lambda: DiskStore.open(disk.path, verify=False))
+    assert cold.mapped_segments() == 0
+    resident_cold = cold.memory_bytes()
+    assert resident_cold < disk.disk_bytes() / 10
+    t_first, _ = _best_of(lambda: cold.neighbors(0))
+    report(
+        "Disk store cold open (manifest only, no segment mapped)",
+        render_table(
+            ["metric", "value"],
+            [
+                ["open", f"{t_open * 1e6:.0f} us"],
+                ["first row", f"{t_first * 1e6:.0f} us"],
+                ["on disk", f"{disk.disk_bytes():,} B"],
+                ["resident after open", f"{resident_cold:,} B"],
+                ["segments", str(len(disk.manifest.offsets) + len(disk.manifest.columns))],
+            ],
+        ),
+    )
+
+
+def test_zipf_parity_gate(mono, disk, workload):
+    """The headline gate: memory-mapped serving within 2x of in-memory
+    packed qps on the combined 10k-query Zipf workload."""
+    unodes, qs = workload
+    total = 2 * N_QUERIES
+
+    _serve_workload(disk, unodes, qs)  # warm the page cache once
+    t_mono, _ = _best_of(lambda: _serve_workload(mono, unodes, qs))
+    t_disk, _ = _best_of(lambda: _serve_workload(disk, unodes, qs))
+    ratio = t_mono / t_disk
+
+    baseline = {
+        "store": "DiskStore (memory-mapped segments, pokec stand-in, 1/64 scale)",
+        "workload": f"{N_QUERIES} zipf({SKEW}) neighbors + "
+                    f"{N_QUERIES} edge probes",
+        "graph": {"nodes": int(mono.num_nodes), "edges": int(mono.num_edges)},
+        "mono_s": t_mono,
+        "disk_s": t_disk,
+        "qps_ratio": ratio,
+        "disk_qps": total / t_disk,
+        "disk_bytes": disk.disk_bytes(),
+        "bits_per_edge": disk.bits_per_edge(),
+    }
+    # refresh the committed baseline only on request — a plain test run
+    # must not dirty the working tree with this machine's numbers
+    if os.environ.get("BENCH_WRITE_BASELINE") or not BASELINE_PATH.exists():
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+
+    report(
+        f"Disk store vs in-memory packed ({N_QUERIES}-query Zipf workload)",
+        render_table(
+            ["store", "workload ms", "qps ratio", "q/s"],
+            [
+                ["packed (RAM)", f"{t_mono * 1e3:.1f}", "1.00x",
+                 f"{total / t_mono:,.0f}"],
+                ["disk (mmap)", f"{t_disk * 1e3:.1f}", f"{ratio:.2f}x",
+                 f"{total / t_disk:,.0f}"],
+            ],
+            title=f"warm page cache (gate: >= {PARITY_FLOOR}x)",
+        ),
+    )
+    assert ratio >= PARITY_FLOOR, (
+        f"disk qps fell to {ratio:.2f}x of in-memory (floor {PARITY_FLOOR}x)"
+    )
+
+
+def test_out_of_core_builder_memory(tmp_path_factory):
+    """Builder heap peak is bounded by the chunk/segment knobs on a
+    graph 100x the chunk size — never by the edge count."""
+    out = tmp_path_factory.mktemp("ooc")
+    chunk = 4_000
+    seg = 1 << 16
+    m = 400_000  # 100x the chunk
+    n = 5_000
+    rng = np.random.default_rng(5)
+    edge_path = out / "edges.bin"
+    write_edge_list_binary(
+        edge_path, rng.integers(0, n, m), rng.integers(0, n, m)
+    )
+
+    tracemalloc.start()
+    try:
+        disk = build_disk_store(
+            edge_path, out / "store", num_nodes=n, chunk_edges=chunk,
+            segment_bytes=seg,
+        )
+        _, peak_ooc = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert disk.num_edges == m
+
+    # the load-everything path for contrast: peak scales with m
+    src, dst, _ = read_edge_list_binary(edge_path)
+    tracemalloc.start()
+    try:
+        open_store("packed", src, dst, n, sort=True)
+        _, peak_mem = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+
+    budget = 64 * chunk + 64 * n + 40 * seg + (2 << 20)
+    report(
+        "Out-of-core builder peak heap (tracemalloc; memmaps not counted)",
+        render_table(
+            ["metric", "value"],
+            [
+                ["edges", f"{m:,} ({m // chunk}x the chunk)"],
+                ["chunk_edges / segment_bytes", f"{chunk:,} / {seg:,}"],
+                ["out-of-core traced peak", f"{peak_ooc:,} B"],
+                ["bound (chunk+segment+O(n))", f"{budget:,} B"],
+                ["in-memory build traced peak", f"{peak_mem:,} B"],
+            ],
+        ),
+    )
+    assert peak_ooc < budget, f"builder peak {peak_ooc} exceeds bound {budget}"
+    assert peak_ooc < peak_mem / 3, (
+        f"out-of-core peak {peak_ooc} not clearly below in-memory {peak_mem}"
+    )
+
+
+def test_segment_size_sweep(mono, workload, tmp_path_factory):
+    """Segment-size sweep for EXPERIMENTS.md: file count vs workload
+    wall-clock; decode cost is identical, only mapping granularity moves."""
+    unodes, qs = workload
+    t_mono, _ = _best_of(lambda: _serve_workload(mono, unodes, qs))
+    rows = [["packed (RAM)", "-", f"{t_mono * 1e3:.1f}", "1.00x"]]
+    root = tmp_path_factory.mktemp("sweep")
+    for kib in (64, 256, 1024, 4096):
+        store = write_disk_store(mono, root / f"s{kib}", segment_bytes=kib << 10)
+        _serve_workload(store, unodes, qs)  # warm
+        t, _ = _best_of(lambda: _serve_workload(store, unodes, qs))
+        nseg = len(store.manifest.offsets) + len(store.manifest.columns)
+        rows.append(
+            [f"disk {kib} KiB", str(nseg), f"{t * 1e3:.1f}",
+             f"{t_mono / t:.2f}x"]
+        )
+        store.close()
+    report(
+        "Disk store segment-size sweep (Zipf workload, warm cache)",
+        render_table(["store", "segments", "workload ms", "qps ratio"], rows),
+    )

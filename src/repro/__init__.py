@@ -14,9 +14,12 @@ Public surface, by paper section:
   :mod:`repro.datasets`, :mod:`repro.baselines`.
 * Executors: :class:`SerialExecutor`, :class:`ThreadExecutor`, and the
   :class:`SimulatedMachine` used for processor sweeps (DESIGN.md §1).
-* Scaling layer: :func:`open_store` (the store registry) and
+* Scaling layer: :func:`open_store` (the store registry),
   :mod:`repro.shard` — range/hash-partitioned stores with
-  scatter-gather batch execution (:class:`ShardedStore`).
+  scatter-gather batch execution (:class:`ShardedStore`) — and
+  :mod:`repro.disk` — the memory-mapped on-disk store
+  (:class:`DiskStore`) with out-of-core construction
+  (:func:`build_disk_store`) for graphs bigger than RAM.
 """
 
 from . import (
@@ -25,6 +28,7 @@ from . import (
     bitpack,
     csr,
     datasets,
+    disk,
     parallel,
     query,
     serve,
@@ -41,6 +45,7 @@ from .csr import (
     read_edge_list,
     write_edge_list,
 )
+from .disk import DiskStore, build_disk_store, write_disk_store
 from .errors import (
     AdmissionError,
     CodecError,
@@ -73,6 +78,7 @@ __all__ = [
     "bitpack",
     "csr",
     "datasets",
+    "disk",
     "parallel",
     "query",
     "serve",
@@ -104,6 +110,9 @@ __all__ = [
     "GraphQueryServer",
     "ShardedStore",
     "build_sharded_store",
+    "DiskStore",
+    "build_disk_store",
+    "write_disk_store",
     "available_stores",
     "open_store",
     "register_store",

@@ -23,15 +23,26 @@ import sys
 
 import numpy as np
 
+from pathlib import Path
+
 from .analysis.experiments import render_fig6, render_fig7, run_fig6, run_table2
-from .csr.io import edge_list_text_size, read_edge_list, write_edge_list
+from .csr.io import (
+    edge_list_text_size,
+    read_edge_list,
+    read_edge_list_binary,
+    write_edge_list,
+    write_edge_list_binary,
+)
 from .csr.packed import BitPackedCSR
 from .datasets import ba_edges, er_edges, rmat_edges, standin
+from .disk import DiskStore
 from .errors import ReproError
 from .parallel import SerialExecutor, SimulatedMachine
 from .shard import PARTITIONER_KINDS, ShardedStore
 from .stores import open_store
 from .utils import human_bytes
+
+_BINARY_MAGIC = b"REPROEL1"
 
 __all__ = ["main", "build_parser"]
 
@@ -63,22 +74,37 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--scale", type=float, default=1 / 256,
                      help="fraction of paper edges for 'standin'")
     gen.add_argument("--seed", type=int, default=2023)
+    gen.add_argument("--binary", action="store_true",
+                     help="write the compact binary edge-list format "
+                     "(streamable by 'build --format disk')")
 
-    build = sub.add_parser("build", help="edge list -> bit-packed CSR (.npz)")
-    build.add_argument("input", help="text edge list (SNAP format)")
-    build.add_argument("output", help="output .npz path")
+    build = sub.add_parser("build",
+                           help="edge list -> packed CSR (.npz or disk directory)")
+    build.add_argument("input", help="text edge list (SNAP format) or binary "
+                       "edge list from 'generate --binary'")
+    build.add_argument("output", help="output .npz path (or directory with "
+                       "--format disk)")
     build.add_argument("-p", "--processors", type=int, default=1,
                        help="simulated processor count (default 1)")
     build.add_argument("--gap", action="store_true", help="gap-encode rows")
     build.add_argument("--no-sort", action="store_true",
                        help="input is already sorted by source")
+    build.add_argument("--format", choices=["npz", "disk"], default="npz",
+                       help="npz: in-memory packed CSR file; disk: "
+                       "memory-mapped store directory (built out of core "
+                       "when the input is binary)")
+    build.add_argument("--chunk-edges", type=int, default=1 << 20,
+                       help="edges per streaming pass for the out-of-core "
+                       "disk build")
+    build.add_argument("--segment-bytes", type=int, default=None,
+                       help="target payload bytes per disk segment file")
     _add_shard_flags(build)
 
-    info = sub.add_parser("info", help="inspect a packed CSR file")
-    info.add_argument("input", help=".npz produced by 'build'")
+    info = sub.add_parser("info", help="inspect a store (.npz or disk directory)")
+    info.add_argument("input", help=".npz or disk directory from 'build'")
 
-    query = sub.add_parser("query", help="query a packed CSR file")
-    query.add_argument("input", help=".npz produced by 'build'")
+    query = sub.add_parser("query", help="query a store (.npz or disk directory)")
+    query.add_argument("input", help=".npz or disk directory from 'build'")
     query.add_argument("--cache-elements", type=int, default=0,
                        help="wrap the store in an LRU row cache of this many "
                        "decoded elements and print its stats after the batch")
@@ -100,7 +126,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="coalesced vs single-request serving throughput (repro.serve)",
     )
     serve.add_argument("--input", default=None,
-                       help=".npz packed CSR to serve (default: generate R-MAT)")
+                       help=".npz or disk directory to serve "
+                       "(default: generate R-MAT)")
     serve.add_argument("--nodes", type=int, default=1 << 12,
                        help="generated graph nodes (ignored with --input)")
     serve.add_argument("--edges", type=int, default=60_000,
@@ -149,16 +176,69 @@ def _cmd_generate(args) -> int:
     else:  # standin
         ds = standin(args.name, scale=args.scale, seed=args.seed)
         src, dst = ds.sources, ds.destinations
-    nbytes = write_edge_list(args.output, src, dst)
+    if args.binary:
+        nbytes = write_edge_list_binary(args.output, src, dst)
+    else:
+        nbytes = write_edge_list(args.output, src, dst)
     print(f"wrote {len(src):,} edges to {args.output} ({human_bytes(nbytes)})")
     return 0
 
 
+def _is_binary_edge_list(path) -> bool:
+    """True when *path* starts with the binary edge-list magic."""
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(_BINARY_MAGIC)) == _BINARY_MAGIC
+    except OSError:
+        return False
+
+
 def _cmd_build(args) -> int:
-    src, dst, n = read_edge_list(args.input)
     machine = (
         SimulatedMachine(args.processors) if args.processors > 1 else SerialExecutor()
     )
+    binary_input = _is_binary_edge_list(args.input)
+
+    if args.format == "disk":
+        from .disk import DEFAULT_SEGMENT_BYTES, build_disk_store, write_disk_store
+
+        if args.shards > 1:
+            raise ReproError(
+                "--format disk builds one store directory; shard it at query "
+                "time (query/serve-bench --shards N) or via the API "
+                "(build_sharded_store(inner='disk', path=...))"
+            )
+        segment_bytes = int(args.segment_bytes or DEFAULT_SEGMENT_BYTES)
+        if binary_input:
+            # out of core: the edge file is streamed in chunk passes and
+            # the graph never materialises in memory
+            store = build_disk_store(
+                args.input, args.output, sort=not args.no_sort,
+                gap_encode=args.gap, chunk_edges=args.chunk_edges,
+                segment_bytes=segment_bytes, executor=machine,
+            )
+            print(f"input : {store.num_edges:,} edges, {store.num_nodes:,} "
+                  f"nodes (binary, streamed out of core)")
+        else:
+            src, dst, n = read_edge_list(args.input)
+            packed = open_store(
+                "gap" if args.gap else "packed", src, dst, n,
+                executor=machine, sort=not args.no_sort,
+            )
+            store = write_disk_store(packed, args.output,
+                                     segment_bytes=segment_bytes)
+            print(f"input : {len(src):,} edges, {n:,} nodes "
+                  f"({human_bytes(edge_list_text_size(src, dst))} as text)")
+        print(f"output: {store}")
+        if isinstance(machine, SimulatedMachine):
+            print(f"build : {machine.elapsed_ms():.3f} simulated ms "
+                  f"on p={args.processors}")
+        return 0
+
+    if binary_input:
+        src, dst, n = read_edge_list_binary(args.input)
+    else:
+        src, dst, n = read_edge_list(args.input)
     inner = "gap" if args.gap else "packed"
     if args.shards > 1:
         store = open_store(
@@ -180,10 +260,26 @@ def _cmd_build(args) -> int:
 
 
 def _load(path):
-    """Open a ``.npz`` store file, monolithic or sharded."""
-    with np.load(path) as data:
-        sharded = "store_kind" in data.files and str(data["store_kind"]) == "sharded"
-    return ShardedStore.load(path) if sharded else BitPackedCSR.load(path)
+    """Open a store: a disk-store directory or an ``.npz`` file.
+
+    Directories open as :class:`~repro.disk.DiskStore` (checksums
+    verified); ``.npz`` files as packed or sharded stores by key
+    sniffing.  A file whose keys match no known kind raises a one-line
+    :class:`ReproError` naming the file and the kinds understood.
+    """
+    p = Path(path)
+    if p.is_dir():
+        return DiskStore.open(p)
+    with np.load(p) as data:
+        files = set(data.files)
+    if "store_kind" in files:
+        return ShardedStore.load(path)
+    if {"num_nodes", "offsets", "columns"} <= files:
+        return BitPackedCSR.load(path)
+    raise ReproError(
+        f"{path}: not a recognized store file (keys: {', '.join(sorted(files))}); "
+        "known kinds: packed CSR .npz, sharded .npz, disk-store directory"
+    )
 
 
 def _reshard(store, args):
@@ -200,6 +296,19 @@ def _reshard(store, args):
 
 def _cmd_info(args) -> int:
     packed = _load(args.input)
+    if isinstance(packed, DiskStore):
+        print(packed)
+        print(f"  nodes          : {packed.num_nodes:,}")
+        print(f"  edges          : {packed.num_edges:,}")
+        print(f"  offset width   : {packed.offset_width} bits")
+        print(f"  column width   : {packed.column_width} bits")
+        print(f"  gap encoded    : {packed.gap_encoded}")
+        print(f"  segments       : {len(packed.manifest.offsets)} offset + "
+              f"{len(packed.manifest.columns)} column")
+        print(f"  on disk        : {human_bytes(packed.disk_bytes())}")
+        print(f"  resident       : {human_bytes(packed.memory_bytes())}")
+        print(f"  bits per edge  : {packed.bits_per_edge():.2f}")
+        return 0
     if isinstance(packed, ShardedStore):
         print(packed)
         print(f"  nodes          : {packed.num_nodes:,}")

@@ -25,12 +25,39 @@ __all__ = [
     "write_edge_list",
     "read_edge_list_binary",
     "write_edge_list_binary",
+    "binary_edge_list_info",
+    "iter_edge_list_binary",
     "edge_list_text_size",
     "save_csr",
     "load_csr",
 ]
 
 _BINARY_MAGIC = b"REPROEL1"
+_HEADER_BYTES = len(_BINARY_MAGIC) + 8 + 1  # magic, uint64 count, uint8 itemsize
+
+
+def _read_exact(fh, nbytes: int, path, what: str) -> bytes:
+    """Read exactly *nbytes* or raise a clean :class:`ValidationError`."""
+    data = fh.read(nbytes)
+    if len(data) != nbytes:
+        raise ValidationError(
+            f"{path}: truncated binary edge list "
+            f"({what}: got {len(data)} of {nbytes} bytes)"
+        )
+    return data
+
+
+def _read_binary_header(fh, path) -> tuple[int, int, np.dtype]:
+    """Parse the magic/count/itemsize header; returns (count, itemsize, dtype)."""
+    magic = fh.read(len(_BINARY_MAGIC))
+    if magic != _BINARY_MAGIC:
+        raise ValidationError(f"{path}: not a repro binary edge list")
+    count = int.from_bytes(_read_exact(fh, 8, path, "edge count"), "little")
+    itemsize = _read_exact(fh, 1, path, "item size")[0]
+    dtype = {4: np.dtype(np.uint32), 8: np.dtype(np.uint64)}.get(itemsize)
+    if dtype is None:
+        raise ValidationError(f"{path}: unsupported item size {itemsize}")
+    return count, itemsize, dtype
 
 
 def read_edge_list(path, *, comments: str = "#") -> tuple[np.ndarray, np.ndarray, int]:
@@ -135,16 +162,14 @@ def write_edge_list_binary(path, sources, destinations) -> int:
 
 
 def read_edge_list_binary(path) -> tuple[np.ndarray, np.ndarray, int]:
-    """Read the binary format of :func:`write_edge_list_binary`."""
+    """Read the binary format of :func:`write_edge_list_binary`.
+
+    Returns ``(sources, destinations, n)``; any truncation — in the
+    header or the payload — raises :class:`ValidationError` naming the
+    file, never a raw buffer/EOF traceback.
+    """
     with open(path, "rb") as fh:
-        magic = fh.read(len(_BINARY_MAGIC))
-        if magic != _BINARY_MAGIC:
-            raise ValidationError(f"{path}: not a repro binary edge list")
-        count = int(np.frombuffer(fh.read(8), dtype=np.uint64)[0])
-        itemsize = int(np.frombuffer(fh.read(1), dtype=np.uint8)[0])
-        dtype = {4: np.uint32, 8: np.uint64}.get(itemsize)
-        if dtype is None:
-            raise ValidationError(f"{path}: unsupported item size {itemsize}")
+        count, itemsize, dtype = _read_binary_header(fh, path)
         payload = fh.read()
     expected = 2 * count * itemsize
     if len(payload) != expected:
@@ -156,6 +181,55 @@ def read_edge_list_binary(path) -> tuple[np.ndarray, np.ndarray, int]:
     dst = arr[count:].astype(np.int64)
     n = int(max(src.max(initial=-1), dst.max(initial=-1))) + 1
     return src, dst, max(n, 0)
+
+
+def binary_edge_list_info(path) -> tuple[int, int]:
+    """Header peek of a binary edge list: ``(edge_count, itemsize)``.
+
+    Validates the magic, the header, and that the file holds exactly the
+    payload the header promises — without reading the payload — so
+    out-of-core consumers can size their passes up front and fail fast
+    on truncated files.
+    """
+    path = Path(path)
+    with open(path, "rb") as fh:
+        count, itemsize, _ = _read_binary_header(fh, path)
+    expected = _HEADER_BYTES + 2 * count * itemsize
+    actual = path.stat().st_size
+    if actual != expected:
+        raise ValidationError(
+            f"{path}: truncated payload ({actual - _HEADER_BYTES} bytes, "
+            f"expected {2 * count * itemsize})"
+        )
+    return count, itemsize
+
+
+def iter_edge_list_binary(path, *, chunk_edges: int = 1 << 20):
+    """Stream a binary edge list in ``(sources, destinations)`` chunks.
+
+    Yields ``int64`` array pairs of at most *chunk_edges* edges, in file
+    order, reading O(chunk) bytes at a time — the access pattern the
+    out-of-core builder (:func:`repro.disk.build_disk_store`) makes its
+    passes with.  The header (and total file size) is validated before
+    the first chunk is yielded.
+    """
+    if chunk_edges <= 0:
+        raise ValidationError("chunk_edges must be positive")
+    count, itemsize = binary_edge_list_info(path)
+    dtype = {4: np.dtype(np.uint32), 8: np.dtype(np.uint64)}[itemsize]
+    with open(path, "rb") as fh:
+        for lo in range(0, count, chunk_edges):
+            take = min(chunk_edges, count - lo)
+            fh.seek(_HEADER_BYTES + lo * itemsize)
+            src = np.frombuffer(
+                _read_exact(fh, take * itemsize, path, "source chunk"), dtype=dtype
+            )
+            fh.seek(_HEADER_BYTES + (count + lo) * itemsize)
+            dst = np.frombuffer(
+                _read_exact(fh, take * itemsize, path, "destination chunk"),
+                dtype=dtype,
+            )
+            yield src.astype(np.int64), dst.astype(np.int64)
 
 
 def save_csr(path, graph: CSRGraph) -> None:

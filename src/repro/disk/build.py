@@ -1,0 +1,358 @@
+"""Builders for the on-disk store: re-layout and out-of-core construction.
+
+Two entry points:
+
+* :func:`write_disk_store` — persist an in-memory
+  :class:`~repro.csr.BitPackedCSR` as a store directory (segment
+  re-pack, checksums, manifest).
+* :func:`build_disk_store` — construct the directory **out of core**
+  from a binary edge-list file (:func:`~repro.csr.io.write_edge_list_binary`
+  format), streaming the edges in bounded chunks so peak working memory
+  is O(chunk + segment + n) regardless of edge count.  The offset array
+  still comes from the paper's chunked prefix sum (Algorithm 1) over
+  the streamed degree counts, and the resulting packed bits are
+  **bit-identical** to packing the same graph in memory.
+"""
+
+from __future__ import annotations
+
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from ..bitpack.delta import row_gaps
+from ..bitpack.fixed import pack_fixed, unpack_fixed, unpack_slice
+from ..csr.io import binary_edge_list_info, iter_edge_list_binary
+from ..errors import DiskFormatError, ValidationError
+from ..parallel.machine import Executor, SerialExecutor
+from ..parallel.scan import exclusive_from_inclusive, prefix_sum_parallel
+from ..utils import bits_for_count, bits_for_value, min_uint_dtype
+from .format import (
+    DEFAULT_SEGMENT_BYTES,
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    Manifest,
+    Segment,
+    plan_field_segments,
+    plan_row_segments,
+)
+from .store import DiskStore
+
+__all__ = ["write_disk_store", "build_disk_store"]
+
+_TMP_COLUMNS = "columns.tmp"
+
+
+def _prepare_directory(path) -> Path:
+    """Create (or clear) a store directory; refuse foreign content.
+
+    An existing directory is reused only when it already *is* a disk
+    store (has a manifest) — its manifest, segment files, and stale
+    build temporaries are removed first.  A non-empty directory without
+    a manifest is refused so a typo'd path cannot clobber user data.
+    """
+    directory = Path(path)
+    if directory.exists() and not directory.is_dir():
+        raise DiskFormatError(f"{directory}: not a directory")
+    directory.mkdir(parents=True, exist_ok=True)
+    entries = sorted(p.name for p in directory.iterdir())
+    if not entries:
+        return directory
+    if MANIFEST_NAME not in entries and _TMP_COLUMNS not in entries:
+        raise DiskFormatError(
+            f"{directory}: directory is not empty and holds no {MANIFEST_NAME}; "
+            "refusing to overwrite"
+        )
+    for name in entries:
+        if name == MANIFEST_NAME or name == _TMP_COLUMNS or name.endswith(".seg"):
+            (directory / name).unlink()
+    return directory
+
+
+# Packed bits emitted per pack_fixed slice while writing a segment.
+# pack_fixed expands every value to its individual bits (roughly nine
+# heap bytes per packed *bit*), so packing a whole segment at once
+# would cost ~70x segment_bytes of transient heap.  Slicing keeps the
+# builder's peak independent of the segment size: any run of values
+# whose count is a multiple of eight packs to whole bytes, so the
+# slices concatenate bit-identically to one monolithic pack.
+_PACK_STREAM_BITS = 1 << 17
+
+
+def _write_segment(
+    directory: Path,
+    filename: str,
+    values: np.ndarray,
+    width: int,
+    *,
+    first_field: int,
+    first_row: int,
+    num_rows: int,
+) -> Segment:
+    """Pack *values* from bit 0, write the file, return its table entry."""
+    step = max(8, (_PACK_STREAM_BITS // width) & ~7)
+    crc = 0
+    nbytes = 0
+    with open(directory / filename, "wb") as fh:
+        for lo in range(0, values.shape[0], step):
+            bits = pack_fixed(values[lo : lo + step], width)
+            payload = bits.buffer[: bits.nbytes].tobytes()
+            fh.write(payload)
+            crc = zlib.crc32(payload, crc)
+            nbytes += len(payload)
+    return Segment(
+        filename=filename,
+        first_field=int(first_field),
+        num_fields=int(values.shape[0]),
+        first_row=int(first_row),
+        num_rows=int(num_rows),
+        nbytes=nbytes,
+        crc32=crc,
+    )
+
+
+def _write_offset_segments(
+    directory: Path, indptr: np.ndarray, offset_width: int, segment_bytes: int
+) -> list[Segment]:
+    """Segment and write the packed ``iA`` column."""
+    segments = []
+    for i, (lo, hi) in enumerate(
+        plan_field_segments(indptr.shape[0], offset_width, segment_bytes)
+    ):
+        segments.append(
+            _write_segment(
+                directory,
+                f"offsets-{i:05d}.seg",
+                indptr[lo:hi].astype(np.uint64),
+                offset_width,
+                first_field=lo,
+                first_row=lo,
+                num_rows=hi - lo,
+            )
+        )
+    return segments
+
+
+def _local_gaps(indptr: np.ndarray, r0: int, r1: int, vals: np.ndarray) -> np.ndarray:
+    """Row-gap transform of one segment's rows (chain resets per row)."""
+    local_iptr = indptr[r0 : r1 + 1] - indptr[r0]
+    return row_gaps(local_iptr, vals)
+
+
+def write_disk_store(
+    packed,
+    path,
+    *,
+    segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+) -> DiskStore:
+    """Persist a :class:`~repro.csr.BitPackedCSR` as a disk-store directory.
+
+    Each segment re-packs its run of fields from bit 0 (decoded values
+    are identical, so queries against the directory are bit-exact with
+    the in-memory store); column segments are cut at row boundaries so
+    no row straddles files.  The manifest — with per-file CRC-32s — is
+    written last, so a crashed build never looks like a valid store.
+    Returns the opened :class:`DiskStore`.  Weighted graphs are not
+    supported on disk yet.
+    """
+    if getattr(packed, "values", None) is not None:
+        raise ValidationError("weighted graphs are not supported by the disk store")
+    if segment_bytes <= 0:
+        raise ValidationError("segment_bytes must be positive")
+    directory = _prepare_directory(path)
+    n, m = packed.num_nodes, packed.num_edges
+    indptr = unpack_fixed(packed.offsets, n + 1, packed.offset_width).astype(np.int64)
+
+    offset_segments = _write_offset_segments(
+        directory, indptr, packed.offset_width, segment_bytes
+    )
+    column_segments = []
+    for i, (r0, r1) in enumerate(
+        plan_row_segments(indptr, packed.column_width, segment_bytes)
+    ):
+        f0, f1 = int(indptr[r0]), int(indptr[r1])
+        if f1 == f0:
+            continue  # all-empty row run: nothing to store, no file
+        column_segments.append(
+            _write_segment(
+                directory,
+                f"columns-{i:05d}.seg",
+                unpack_slice(packed.columns, packed.column_width, f0, f1 - f0),
+                packed.column_width,
+                first_field=f0,
+                first_row=r0,
+                num_rows=r1 - r0,
+            )
+        )
+
+    manifest = Manifest(
+        version=FORMAT_VERSION,
+        num_nodes=n,
+        num_edges=m,
+        offset_width=packed.offset_width,
+        column_width=packed.column_width,
+        gap_encoded=packed.gap_encoded,
+        segment_bytes=int(segment_bytes),
+        offsets=tuple(offset_segments),
+        columns=tuple(column_segments),
+    )
+    manifest.save(directory)
+    return DiskStore(directory, manifest)
+
+
+def build_disk_store(
+    edge_path,
+    path,
+    *,
+    num_nodes: int | None = None,
+    sort: bool = True,
+    gap_encode: bool = False,
+    chunk_edges: int = 1 << 20,
+    segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    executor: Executor | None = None,
+) -> DiskStore:
+    """Out-of-core build: binary edge-list file → disk-store directory.
+
+    The graph never materialises in memory.  Streaming passes over the
+    edge file (``chunk_edges`` edges at a time) compute the node count
+    (when *num_nodes* is omitted) and the degree array; the offsets come
+    from the paper's chunked parallel prefix sum (Algorithm 1) on
+    *executor*; a chunked scatter pass then places destinations into an
+    uncompressed temporary memmap via per-node write cursors (stable, so
+    ``sort=False`` preserves edge-file order within each row exactly as
+    :func:`~repro.csr.build_csr` does); finally each column segment is
+    loaded, per-row sorted (``sort=True``, required for ``has_edge`` and
+    gap encoding), optionally gap-transformed, packed, and written.
+    Peak working memory is O(chunk + segment + n) — bounded by the
+    chunk/segment knobs no matter how many edges the file holds — and
+    the packed output is bit-identical to the in-memory pipeline
+    (:func:`~repro.csr.build_bitpacked_csr` then
+    :func:`write_disk_store`).  Returns the opened :class:`DiskStore`.
+    """
+    executor = executor or SerialExecutor()
+    if chunk_edges <= 0:
+        raise ValidationError("chunk_edges must be positive")
+    if segment_bytes <= 0:
+        raise ValidationError("segment_bytes must be positive")
+    edge_path = Path(edge_path)
+    m, _ = binary_edge_list_info(edge_path)
+    directory = _prepare_directory(path)
+
+    # Pass 0 (skipped when the caller knows n): widest id seen.
+    if num_nodes is None:
+        n = 0
+        for src, dst in iter_edge_list_binary(edge_path, chunk_edges=chunk_edges):
+            n = max(n, int(src.max()) + 1, int(dst.max()) + 1)
+    else:
+        n = int(num_nodes)
+        if n < 0:
+            raise ValidationError("node count must be non-negative")
+
+    # Pass 1 — degrees, chunk by chunk.
+    deg = np.zeros(n, dtype=np.int64)
+    for src, dst in iter_edge_list_binary(edge_path, chunk_edges=chunk_edges):
+        lo = int(min(src.min(), dst.min())) if src.size else 0
+        hi = int(max(src.max(), dst.max())) if src.size else -1
+        if lo < 0 or hi >= n:
+            raise ValidationError(f"edge ids must lie in [0, {n})")
+        deg += np.bincount(src, minlength=n)
+
+    # Offsets — Algorithm 1's chunked prefix sum, charged to *executor*.
+    indptr = exclusive_from_inclusive(prefix_sum_parallel(deg, executor))
+    offset_width = bits_for_value(m)
+
+    # Pass 2 — scatter destinations into an uncompressed temporary
+    # memmap through per-node cursors.  Within a chunk a stable sort
+    # groups edges by source and the group-rank trick turns the whole
+    # chunk's placement into one fancy-indexed write; cursors carry the
+    # per-node fill point across chunks, so global edge order per row
+    # is exactly file order.
+    tmp_path = directory / _TMP_COLUMNS
+    tmp_dtype = min_uint_dtype(max(0, n - 1))
+    tmp = np.memmap(tmp_path, dtype=tmp_dtype, mode="w+", shape=(max(m, 1),))
+    cursors = indptr[:-1].copy()
+    for src, dst in iter_edge_list_binary(edge_path, chunk_edges=chunk_edges):
+        order = np.argsort(src, kind="stable")
+        ssrc = src[order]
+        sdst = dst[order]
+        uniq, group_start, counts = np.unique(
+            ssrc, return_index=True, return_counts=True
+        )
+        ranks = np.arange(ssrc.shape[0], dtype=np.int64) - np.repeat(
+            group_start, counts
+        )
+        tmp[cursors[ssrc] + ranks] = sdst
+        cursors[uniq] += counts
+
+    # Column width.  Gap mode needs the global maximum gap, which only
+    # exists after per-row sorting — one extra segment-bounded pass that
+    # sorts each row in place (in the temporary) and records the max.
+    if gap_encode:
+        max_gap = 0
+        for r0, r1 in plan_row_segments(indptr, bits_for_count(n), segment_bytes):
+            f0, f1 = int(indptr[r0]), int(indptr[r1])
+            if f1 == f0:
+                continue
+            vals = np.array(tmp[f0:f1], dtype=np.uint64)
+            if sort:
+                vals = _sort_rows(indptr, r0, r1, vals)
+                tmp[f0:f1] = vals
+            gaps = _local_gaps(indptr, r0, r1, vals)
+            max_gap = max(max_gap, int(gaps.max()))
+        column_width = bits_for_value(max_gap) if m else 1
+        sort_in_pack = False  # rows already sorted in the temporary
+    else:
+        column_width = bits_for_count(n)
+        sort_in_pack = sort
+
+    # Pass 3 — segment, (sort,) transform, pack, write.
+    offset_segments = _write_offset_segments(
+        directory, indptr, offset_width, segment_bytes
+    )
+    column_segments = []
+    for i, (r0, r1) in enumerate(
+        plan_row_segments(indptr, column_width, segment_bytes)
+    ):
+        f0, f1 = int(indptr[r0]), int(indptr[r1])
+        if f1 == f0:
+            continue
+        vals = np.array(tmp[f0:f1], dtype=np.uint64)
+        if sort_in_pack:
+            vals = _sort_rows(indptr, r0, r1, vals)
+        if gap_encode:
+            vals = _local_gaps(indptr, r0, r1, vals)
+        column_segments.append(
+            _write_segment(
+                directory,
+                f"columns-{i:05d}.seg",
+                vals,
+                column_width,
+                first_field=f0,
+                first_row=r0,
+                num_rows=r1 - r0,
+            )
+        )
+    del tmp  # release the mapping before unlinking the file
+    tmp_path.unlink()
+
+    manifest = Manifest(
+        version=FORMAT_VERSION,
+        num_nodes=n,
+        num_edges=m,
+        offset_width=offset_width,
+        column_width=column_width,
+        gap_encoded=bool(gap_encode),
+        segment_bytes=int(segment_bytes),
+        offsets=tuple(offset_segments),
+        columns=tuple(column_segments),
+    )
+    manifest.save(directory)
+    return DiskStore(directory, manifest)
+
+
+def _sort_rows(indptr: np.ndarray, r0: int, r1: int, vals: np.ndarray) -> np.ndarray:
+    """Sort each CSR row of one segment's payload independently."""
+    lengths = np.diff(indptr[r0 : r1 + 1])
+    row_ids = np.repeat(np.arange(r1 - r0, dtype=np.int64), lengths)
+    return vals[np.lexsort((vals, row_ids))]

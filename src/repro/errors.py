@@ -13,6 +13,7 @@ __all__ = [
     "ValidationError",
     "NotSortedError",
     "CodecError",
+    "DiskFormatError",
     "FieldOverflowError",
     "QueryError",
     "FrameError",
@@ -40,6 +41,16 @@ class NotSortedError(ValidationError):
 
 class CodecError(ReproError):
     """A bit-packing codec failed to encode or decode a payload."""
+
+
+class DiskFormatError(ValidationError):
+    """An on-disk store directory is missing, malformed, or corrupt.
+
+    Raised by :mod:`repro.disk` when a manifest cannot be parsed, its
+    format version is unknown, a segment file is absent or truncated,
+    or a per-file checksum does not match — a clean, catchable
+    :class:`ReproError` instead of a JSON/struct traceback.
+    """
 
 
 class FieldOverflowError(CodecError, OverflowError):

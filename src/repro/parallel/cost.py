@@ -47,6 +47,11 @@ class Cost:
         Bytes moved by bulk, streaming copies (the serial bit-array
         merge of Algorithm 4 is a memcpy, an order of magnitude cheaper
         per byte than per-element kernel work).
+    page_touches:
+        Distinct memory-mapped pages faulted in by an out-of-core store
+        (:mod:`repro.disk`).  Kept on its own channel so every other
+        channel stays bit-identical between the disk-backed and
+        in-memory packed stores — the disk term is strictly additive.
     """
 
     reads: float = 0.0
@@ -54,6 +59,7 @@ class Cost:
     flops: float = 0.0
     bit_ops: float = 0.0
     copy_bytes: float = 0.0
+    page_touches: float = 0.0
 
     def __add__(self, other: "Cost") -> "Cost":
         if not isinstance(other, Cost):
@@ -64,6 +70,7 @@ class Cost:
             self.flops + other.flops,
             self.bit_ops + other.bit_ops,
             self.copy_bytes + other.copy_bytes,
+            self.page_touches + other.page_touches,
         )
 
     def __mul__(self, factor: float) -> "Cost":
@@ -75,6 +82,7 @@ class Cost:
             self.flops * factor,
             self.bit_ops * factor,
             self.copy_bytes * factor,
+            self.page_touches * factor,
         )
 
     __rmul__ = __mul__
@@ -82,7 +90,12 @@ class Cost:
     def is_zero(self) -> bool:
         """True when every cost channel is zero."""
         return not (
-            self.reads or self.writes or self.flops or self.bit_ops or self.copy_bytes
+            self.reads
+            or self.writes
+            or self.flops
+            or self.bit_ops
+            or self.copy_bytes
+            or self.page_touches
         )
 
     @staticmethod
@@ -114,6 +127,7 @@ class CostModel:
     sync_ns: float = 2_000.0
     lock_ns: float = 300.0
     dispatch_ns: float = 500.0
+    page_touch_ns: float = 250.0  # soft fault on a page-cache-warm mmap
 
     def time_ns(self, cost: Cost) -> float:
         """Simulated nanoseconds for *cost* (excludes sync/lock/dispatch,
@@ -124,6 +138,7 @@ class CostModel:
             + cost.flops * self.flop_ns
             + cost.bit_ops * self.bit_op_ns
             + cost.copy_bytes * self.copy_byte_ns
+            + cost.page_touches * self.page_touch_ns
         )
 
 
@@ -164,6 +179,10 @@ class CostAccumulator:
     def charge_copy_bytes(self, n: float) -> None:
         """Charge *n* bulk-copied bytes."""
         self.charge(Cost(copy_bytes=n))
+
+    def charge_page_touches(self, n: float) -> None:
+        """Charge *n* distinct mapped-page touches."""
+        self.charge(Cost(page_touches=n))
 
     def reset(self) -> None:
         """Zero the accumulator."""

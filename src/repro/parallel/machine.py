@@ -90,6 +90,11 @@ class TaskContext:
         if self._acc is not None:
             self._acc.charge_bit_ops(n)
 
+    def charge_page_touches(self, n: float) -> None:
+        """Charge *n* distinct mapped-page touches."""
+        if self._acc is not None:
+            self._acc.charge_page_touches(n)
+
 
 @dataclass(frozen=True, slots=True)
 class PhaseRecord:

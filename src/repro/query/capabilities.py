@@ -37,12 +37,20 @@ class StoreCapabilities:
         width for packed stores, 1 for array-backed stores.  This is
         the per-element factor behind
         :func:`~repro.query.stores.row_decode_cost`.
+    counts_page_touches:
+        The store meters distinct memory-mapped pages faulted by its
+        decode paths and drains the counter through
+        ``take_page_touches()`` (the out-of-core :mod:`repro.disk`
+        store, and composites wrapping one).  Query kernels charge the
+        drained count to the ``page_touches`` cost channel after each
+        bulk fetch.
     """
 
     has_native_batch: bool
     row_dtype: np.dtype
     is_packed: bool
     decode_bits: int
+    counts_page_touches: bool = False
 
 
 def capabilities(store) -> StoreCapabilities:
@@ -57,6 +65,7 @@ def capabilities(store) -> StoreCapabilities:
     native = callable(getattr(store, "neighbors_batch", None))
     width = getattr(store, "column_width", None)
     declared = getattr(store, "row_dtype", None)
+    pages = callable(getattr(store, "take_page_touches", None))
     if declared is not None:
         dtype = np.dtype(declared)
     elif width is not None:
@@ -70,7 +79,12 @@ def capabilities(store) -> StoreCapabilities:
             row_dtype=dtype,
             is_packed=True,
             decode_bits=int(width),
+            counts_page_touches=pages,
         )
     return StoreCapabilities(
-        has_native_batch=native, row_dtype=dtype, is_packed=False, decode_bits=1
+        has_native_batch=native,
+        row_dtype=dtype,
+        is_packed=False,
+        decode_bits=1,
+        counts_page_touches=pages,
     )

@@ -93,9 +93,12 @@ def batch_edge_existence(
         s, e = int(bounds[cid]), int(bounds[cid + 1])
         decode_units = 0.0
         inspected = 0
+        pages = 0.0
         if e > s:
             uniq, uidx = np.unique(qs[s:e, 0], return_inverse=True)
             flat, offs = neighbors_batch(store, uniq, caps)
+            if caps.counts_page_touches:
+                pages = float(store.take_page_touches())
             counts_u = np.diff(offs)
             counts_q = counts_u[uidx]
             # billed as if each query decoded its own row, like the
@@ -135,7 +138,12 @@ def batch_edge_existence(
                     )
                 inspected = int(steps.sum())
         ctx.charge(
-            Cost(reads=2 * (e - s) + inspected, writes=e - s, bit_ops=decode_units)
+            Cost(
+                reads=2 * (e - s) + inspected,
+                writes=e - s,
+                bit_ops=decode_units,
+                page_touches=pages,
+            )
         )
 
     executor.parallel(
@@ -164,8 +172,15 @@ def single_edge_exists(
         raise QueryError(f"edge ({u}, {v}) out of range for n={n}")
 
     def extract(ctx: TaskContext):
+        caps = capabilities(store)
         row = store.neighbors(u)
-        ctx.charge(Cost(bit_ops=row_decode_cost(store, row.shape[0])))
+        pages = float(store.take_page_touches()) if caps.counts_page_touches else 0.0
+        ctx.charge(
+            Cost(
+                bit_ops=row_decode_cost(store, row.shape[0], caps),
+                page_touches=pages,
+            )
+        )
         return row
 
     row = executor.serial(extract, label="query:single-extract")

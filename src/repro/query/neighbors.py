@@ -50,6 +50,7 @@ def batch_neighbors(
     def run_chunk(ctx: TaskContext, cid: int):
         s, e = int(bounds[cid]), int(bounds[cid + 1])
         decode_units = 0.0
+        pages = 0.0
         if e > s:
             flat, offs = neighbors_batch(store, queries[s:e], caps)
             for i in range(s, e):
@@ -57,7 +58,14 @@ def batch_neighbors(
             # degree-linear decode charge, so the chunk total equals the
             # per-row sum the scalar path would have charged
             decode_units = row_decode_cost(store, int(offs[-1]), caps)
-        ctx.charge(Cost(reads=e - s, writes=e - s, bit_ops=decode_units))
+            if caps.counts_page_touches:
+                # out-of-core stores meter the distinct mapped pages the
+                # fetch faulted in; billed on the dedicated channel so
+                # every other charge matches the in-memory store exactly
+                pages = float(store.take_page_touches())
+        ctx.charge(
+            Cost(reads=e - s, writes=e - s, bit_ops=decode_units, page_touches=pages)
+        )
 
     executor.parallel(
         [_bind(run_chunk, cid) for cid in range(executor.p)],

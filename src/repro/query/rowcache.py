@@ -158,6 +158,21 @@ class RowCache:
             row.nbytes for row in self._rows.values()
         )
 
+    def __getattr__(self, name: str):
+        # Conditional page-touch surface: a cache over an out-of-core
+        # store stays meterable (hits fault no pages, misses delegate),
+        # while a cache over an in-memory store keeps not advertising
+        # the capability.
+        if name == "take_page_touches":
+            try:
+                store = object.__getattribute__(self, "store")
+            except AttributeError:
+                raise AttributeError(name) from None
+            inner = getattr(store, "take_page_touches", None)
+            if callable(inner):
+                return inner
+        raise AttributeError(name)
+
     # -- cache mechanics ------------------------------------------------
     def _insert(self, u: int, row: np.ndarray) -> None:
         size = row.shape[0]

@@ -16,6 +16,8 @@ and the build critical path show up in the machine's trace as one
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from ..csr.builder import check_edge_list, ensure_sorted
@@ -104,17 +106,25 @@ def build_sharded_store(
     part = make_partitioner(partitioner, shards, src, n)
     per_shard = shard_edge_list(src, dst, part)
 
+    def opts_for(s: int) -> dict:
+        # a directory-backed inner kind (``disk``) gets its own
+        # sub-directory per shard instead of every shard clobbering the
+        # same path
+        if inner_opts.get("path") is None:
+            return inner_opts
+        return {**inner_opts, "path": Path(inner_opts["path"]) / f"shard-{s}"}
+
     if isinstance(executor, SimulatedMachine):
         groups = executor.split(shards)
         built = [
-            open_store(inner, s_src, s_dst, n, executor=groups[s], **inner_opts)
+            open_store(inner, s_src, s_dst, n, executor=groups[s], **opts_for(s))
             for s, (s_src, s_dst) in enumerate(per_shard)
         ]
         executor.absorb(groups, label="shard:build")
     else:
         built = [
-            open_store(inner, s_src, s_dst, n, executor=executor, **inner_opts)
-            for s_src, s_dst in per_shard
+            open_store(inner, s_src, s_dst, n, executor=executor, **opts_for(s))
+            for s, (s_src, s_dst) in enumerate(per_shard)
         ]
     if cache_elements > 0:
         per_cache = max(1, int(cache_elements) // shards)

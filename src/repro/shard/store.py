@@ -177,6 +177,23 @@ class ShardedStore:
         index += np.arange(int(offsets[-1]), dtype=np.int64)
         return src_flat[index], offsets
 
+    def __getattr__(self, name: str):
+        # Conditional page-touch surface: present exactly when every
+        # shard meters mapped pages (e.g. DiskStore shards), so the
+        # capability probe stays accurate for in-memory shards.
+        if name == "take_page_touches":
+            try:
+                shards = object.__getattribute__(self, "shards")
+            except AttributeError:
+                raise AttributeError(name) from None
+            if all(callable(getattr(s, "take_page_touches", None)) for s in shards):
+                def take_page_touches() -> int:
+                    """Drain every shard's distinct-page counter (summed)."""
+                    return sum(int(s.take_page_touches()) for s in shards)
+
+                return take_page_touches
+        raise AttributeError(name)
+
     # -- observability and accounting -----------------------------------
     def scatter_counts(self) -> np.ndarray:
         """Batch fan-out so far: per-shard count of scatter calls."""

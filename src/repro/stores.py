@@ -134,6 +134,38 @@ def _build_sharded(sources, destinations, n, **opts):
     return build_sharded_store(sources, destinations, n, **opts)
 
 
+def _build_disk(
+    sources,
+    destinations,
+    n,
+    *,
+    executor=None,
+    path=None,
+    segment_bytes=None,
+    **opts,
+):
+    import tempfile
+
+    from .csr.packed import build_bitpacked_csr
+    from .disk.build import write_disk_store
+    from .disk.format import DEFAULT_SEGMENT_BYTES
+
+    packed = build_bitpacked_csr(sources, destinations, n, executor, **opts)
+    tmpdir = None
+    if path is None:
+        # no directory requested: anchor the store in a temporary one
+        # that lives exactly as long as the store object
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-disk-")
+        path = tmpdir.name
+    store = write_disk_store(
+        packed,
+        path,
+        segment_bytes=int(segment_bytes or DEFAULT_SEGMENT_BYTES),
+    )
+    store._tmpdir = tmpdir
+    return store
+
+
 def _register_builtins() -> None:
     from .baselines import (
         AdjacencyListStore,
@@ -157,6 +189,9 @@ def _register_builtins() -> None:
         ("gap", _build_gap,
          "bit-packed CSR with per-row gap transform "
          "(opts: executor, sort, weights)"),
+        ("disk", _build_disk,
+         "memory-mapped on-disk packed CSR in a store directory "
+         "(opts: path, segment_bytes, executor, sort, gap_encode)"),
         ("sharded", _build_sharded,
          "partitioned store of per-shard sub-stores "
          "(opts: shards, partitioner, inner, executor, sort, "

@@ -5,7 +5,9 @@ import pytest
 
 from repro.csr.builder import build_csr_serial
 from repro.csr.io import (
+    binary_edge_list_info,
     edge_list_text_size,
+    iter_edge_list_binary,
     load_csr,
     read_edge_list,
     read_edge_list_binary,
@@ -119,6 +121,64 @@ class TestBinaryFormat:
         path.write_bytes(data[:-3])
         with pytest.raises(ValidationError, match="truncated"):
             read_edge_list_binary(path)
+
+    def test_empty_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        write_edge_list_binary(path, np.zeros(0, np.int64), np.zeros(0, np.int64))
+        rs, rd, n = read_edge_list_binary(path)
+        assert rs.size == 0 and rd.size == 0 and n == 0
+        assert rs.dtype == np.int64 and rd.dtype == np.int64
+        assert binary_edge_list_info(path) == (0, 4)
+        assert list(iter_edge_list_binary(path)) == []
+
+    @pytest.mark.parametrize("keep", [3, 8, 9, 15, 16])
+    def test_truncated_header_is_clean(self, tmp_path, edges, keep):
+        """A header cut anywhere raises ValidationError, never a raw
+        struct/buffer traceback."""
+        src, dst = edges
+        path = tmp_path / "g.bin"
+        write_edge_list_binary(path, src, dst)
+        data = path.read_bytes()
+        path.write_bytes(data[:keep])
+        with pytest.raises(ValidationError):
+            read_edge_list_binary(path)
+        with pytest.raises(ValidationError):
+            binary_edge_list_info(path)
+
+    def test_info_matches_file(self, tmp_path, edges):
+        src, dst = edges
+        path = tmp_path / "g.bin"
+        write_edge_list_binary(path, src, dst)
+        count, itemsize = binary_edge_list_info(path)
+        assert count == len(src)
+        assert itemsize == 4
+
+    @pytest.mark.parametrize("chunk", [1, 7, 499, 500, 10_000])
+    def test_iter_chunks_concat_to_full_read(self, tmp_path, edges, chunk):
+        src, dst = edges
+        path = tmp_path / "g.bin"
+        write_edge_list_binary(path, src, dst)
+        chunks = list(iter_edge_list_binary(path, chunk_edges=chunk))
+        assert all(s.shape[0] <= chunk for s, _ in chunks)
+        rs = np.concatenate([s for s, _ in chunks])
+        rd = np.concatenate([d for _, d in chunks])
+        assert np.array_equal(rs, src)
+        assert np.array_equal(rd, dst)
+
+    def test_iter_validates_before_first_chunk(self, tmp_path, edges):
+        src, dst = edges
+        path = tmp_path / "g.bin"
+        write_edge_list_binary(path, src, dst)
+        path.write_bytes(path.read_bytes()[:-5])
+        with pytest.raises(ValidationError, match="truncated"):
+            list(iter_edge_list_binary(path, chunk_edges=100))
+
+    def test_iter_rejects_bad_chunk(self, tmp_path, edges):
+        src, dst = edges
+        path = tmp_path / "g.bin"
+        write_edge_list_binary(path, src, dst)
+        with pytest.raises(ValidationError, match="chunk_edges"):
+            list(iter_edge_list_binary(path, chunk_edges=0))
 
 
 class TestCsrPersistence:

@@ -1,0 +1,190 @@
+"""Out-of-core construction: bit-exact with the in-memory pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.csr.io import write_edge_list_binary
+from repro.csr.packed import build_bitpacked_csr
+from repro.disk import DiskStore, build_disk_store, write_disk_store
+from repro.errors import DiskFormatError, ValidationError
+from repro.parallel import SimulatedMachine
+
+
+def _edge_file(tmp_path, rng, n=400, m=5000, name="edges.bin"):
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    path = tmp_path / name
+    write_edge_list_binary(path, src, dst)
+    return path, src, dst, n
+
+
+class TestBitExactness:
+    """The out-of-core build must produce the *same directory* —
+    manifest, segment boundaries, per-file CRCs — as packing in memory
+    and writing the result, for any chunking."""
+
+    @pytest.mark.parametrize("gap", [False, True], ids=["plain", "gap"])
+    @pytest.mark.parametrize("chunk_edges", [64, 777, 5000, 1 << 20])
+    def test_manifest_identical_to_in_memory(self, tmp_path, rng, gap,
+                                             chunk_edges):
+        path, src, dst, n = _edge_file(tmp_path, rng)
+        disk = build_disk_store(
+            path, tmp_path / "ooc", num_nodes=n, gap_encode=gap,
+            chunk_edges=chunk_edges, segment_bytes=512,
+        )
+        packed = build_bitpacked_csr(src, dst, n, sort=True, gap_encode=gap)
+        ref = write_disk_store(packed, tmp_path / "mem", segment_bytes=512)
+        assert disk.manifest.offsets == ref.manifest.offsets
+        assert disk.manifest.columns == ref.manifest.columns
+        assert disk.manifest.offset_width == ref.manifest.offset_width
+        assert disk.manifest.column_width == ref.manifest.column_width
+        for seg in (*disk.manifest.offsets, *disk.manifest.columns):
+            assert (disk.path / seg.filename).read_bytes() == (
+                ref.path / seg.filename
+            ).read_bytes()
+
+    def test_unsorted_rows_preserved_when_sort_false(self, tmp_path, rng):
+        n = 50
+        src = np.sort(rng.integers(0, n, 600))  # u-sorted, rows unsorted
+        dst = rng.integers(0, n, 600)
+        path = tmp_path / "edges.bin"
+        write_edge_list_binary(path, src, dst)
+        disk = build_disk_store(
+            path, tmp_path / "ooc", num_nodes=n, sort=False, chunk_edges=97,
+        )
+        packed = build_bitpacked_csr(src, dst, n, sort=False)
+        g1, g2 = packed.to_csr(), disk.to_csr()
+        # sort=False keeps the edge-file order within each row, exactly
+        # like the in-memory stable counting-sort build
+        assert np.array_equal(g1.indptr, g2.indptr)
+        assert np.array_equal(g1.indices, g2.indices)
+
+    def test_num_nodes_inferred_matches_given(self, tmp_path, rng):
+        path, src, dst, n = _edge_file(tmp_path, rng)
+        true_n = int(max(src.max(), dst.max())) + 1
+        inferred = build_disk_store(path, tmp_path / "a", chunk_edges=333)
+        given = build_disk_store(
+            path, tmp_path / "b", num_nodes=true_n, chunk_edges=333
+        )
+        assert inferred.num_nodes == given.num_nodes == true_n
+        assert inferred.manifest.columns == given.manifest.columns
+
+    def test_simulated_executor_build(self, tmp_path, rng):
+        path, src, dst, n = _edge_file(tmp_path, rng, m=2000)
+        disk = build_disk_store(
+            path, tmp_path / "sim", num_nodes=n,
+            executor=SimulatedMachine(8), chunk_edges=256,
+        )
+        packed = build_bitpacked_csr(src, dst, n, sort=True)
+        q = rng.integers(0, n, 200)
+        f1, o1 = packed.neighbors_batch(q)
+        f2, o2 = disk.neighbors_batch(q)
+        assert np.array_equal(f1, f2) and np.array_equal(o1, o2)
+
+    def test_empty_edge_file(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        write_edge_list_binary(path, np.zeros(0, np.int64), np.zeros(0, np.int64))
+        disk = build_disk_store(path, tmp_path / "out", num_nodes=9)
+        assert disk.num_nodes == 9 and disk.num_edges == 0
+        assert disk.degrees().tolist() == [0] * 9
+
+
+class TestBoundedMemory:
+    def test_peak_traced_allocation_bounded(self, tmp_path, rng):
+        """Building a graph ~10x the chunk size keeps the builder's
+        traced peak near the chunk buffers, not near the edge count.
+
+        (tracemalloc does not see mmap pages — which is the point: the
+        bulk payload lives in the temporary memmap, not the heap.)
+        """
+        import tracemalloc
+
+        chunk = 2_000
+        seg = 4096
+        m = 40_000  # 20x the chunk
+        path, _, _, n = _edge_file(tmp_path, rng, n=500, m=m)
+        tracemalloc.start()
+        try:
+            build_disk_store(
+                path, tmp_path / "big", num_nodes=n,
+                chunk_edges=chunk, segment_bytes=seg,
+            )
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        # chunk buffers (a few int64 arrays of `chunk`) + O(n) arrays +
+        # the unpacked-segment sort buffers + one bounded pack slice;
+        # nothing scales with m
+        budget = 64 * chunk + 64 * n + 40 * seg + (2 << 20)
+        assert peak < budget, f"peak {peak} exceeds bound {budget}"
+
+    def test_no_temporaries_left_behind(self, tmp_path, rng):
+        path, _, _, n = _edge_file(tmp_path, rng)
+        disk = build_disk_store(path, tmp_path / "out", num_nodes=n)
+        names = {p.name for p in disk.path.iterdir()}
+        assert "columns.tmp" not in names
+        assert all(
+            name == "manifest.json" or name.endswith(".seg") for name in names
+        )
+
+
+class TestDirectoryHandling:
+    def test_refuses_foreign_directory(self, tmp_path, rng):
+        path, _, _, n = _edge_file(tmp_path, rng)
+        target = tmp_path / "precious"
+        target.mkdir()
+        (target / "thesis.tex").write_text("do not clobber")
+        with pytest.raises(DiskFormatError, match="refusing to overwrite"):
+            build_disk_store(path, target, num_nodes=n)
+        assert (target / "thesis.tex").read_text() == "do not clobber"
+
+    def test_refuses_file_path(self, tmp_path, rng):
+        path, _, _, n = _edge_file(tmp_path, rng)
+        target = tmp_path / "afile"
+        target.write_text("x")
+        with pytest.raises(DiskFormatError, match="not a directory"):
+            build_disk_store(path, target, num_nodes=n)
+
+    def test_rebuild_over_existing_store(self, tmp_path, rng):
+        path, src, dst, n = _edge_file(tmp_path, rng)
+        target = tmp_path / "store"
+        build_disk_store(path, target, num_nodes=n, segment_bytes=128)
+        # rebuild with different parameters: old segments fully replaced
+        disk = build_disk_store(path, target, num_nodes=n, segment_bytes=1 << 20)
+        listed = {p.name for p in target.iterdir()}
+        manifest_files = {s.filename for s in
+                          (*disk.manifest.offsets, *disk.manifest.columns)}
+        assert listed == manifest_files | {"manifest.json"}
+        DiskStore.open(target)  # verifies CRCs
+
+    def test_empty_target_reused(self, tmp_path, rng):
+        path, _, _, n = _edge_file(tmp_path, rng)
+        target = tmp_path / "fresh"
+        target.mkdir()
+        build_disk_store(path, target, num_nodes=n)
+        DiskStore.open(target)
+
+
+class TestInputValidation:
+    def test_truncated_edge_file(self, tmp_path, rng):
+        path, _, _, n = _edge_file(tmp_path, rng)
+        path.write_bytes(path.read_bytes()[:-7])
+        with pytest.raises(ValidationError, match="truncated"):
+            build_disk_store(path, tmp_path / "out", num_nodes=n)
+
+    def test_node_id_beyond_num_nodes(self, tmp_path, rng):
+        path, src, dst, _ = _edge_file(tmp_path, rng)
+        too_small = int(max(src.max(), dst.max()))  # off by one
+        with pytest.raises(ValidationError):
+            build_disk_store(path, tmp_path / "out", num_nodes=too_small)
+
+    def test_bad_chunk_edges(self, tmp_path, rng):
+        path, _, _, n = _edge_file(tmp_path, rng)
+        with pytest.raises(ValidationError):
+            build_disk_store(path, tmp_path / "out", num_nodes=n, chunk_edges=0)
+
+    def test_bad_segment_bytes(self, tmp_path, rng):
+        path, _, _, n = _edge_file(tmp_path, rng)
+        with pytest.raises(ValidationError):
+            build_disk_store(path, tmp_path / "out", num_nodes=n,
+                             segment_bytes=0)

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.temporal",
     "repro.query",
     "repro.baselines",
+    "repro.disk",
     "repro.pcsr",
     "repro.datasets",
     "repro.analysis",

@@ -37,7 +37,7 @@ def built(edges):
 class TestRegistry:
     def test_builtin_kinds_present(self):
         kinds = available_stores()
-        for kind in ("csr", "csr-serial", "packed", "gap", "sharded",
+        for kind in ("csr", "csr-serial", "packed", "gap", "disk", "sharded",
                      "adjlist", "edgelist", "edgelist-unsorted",
                      "adjmatrix", "bitmatrix", "k2tree"):
             assert kind in kinds
@@ -97,7 +97,7 @@ class TestProtocolConformance:
     @pytest.mark.parametrize("kind", sorted(
         # module-scope fixture can't parametrise itself; keep in sync
         # via the assertion inside test_builtin_kinds_present
-        ["csr", "csr-serial", "packed", "gap", "sharded", "adjlist",
+        ["csr", "csr-serial", "packed", "gap", "disk", "sharded", "adjlist",
          "edgelist", "edgelist-unsorted", "adjmatrix", "bitmatrix", "k2tree"]
     ))
     def test_kind(self, built, edges, kind):
@@ -130,7 +130,7 @@ class TestProtocolConformance:
 
     def test_registry_and_parametrisation_in_sync(self, built):
         assert sorted(built) == sorted(
-            ["csr", "csr-serial", "packed", "gap", "sharded", "adjlist",
+            ["csr", "csr-serial", "packed", "gap", "disk", "sharded", "adjlist",
              "edgelist", "edgelist-unsorted", "adjmatrix", "bitmatrix",
              "k2tree"]
         ), "new registered kinds must be added to TestProtocolConformance"
