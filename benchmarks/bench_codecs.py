@@ -4,7 +4,20 @@ Bits per edge for the column array under every registered codec, raw
 and gap-transformed, per stand-in graph.  The paper packs fixed-width;
 this bench quantifies what gap + fixed (and the variable-length codes)
 buy on social topologies.
+
+Also home of the **compact pipeline gate** (DESIGN.md §9): degree
+reordering + adaptive per-segment codecs must reach <= 12.8 bits/edge
+on the pokec stand-in while serving the Zipf workload at >= 1.0x the
+fixed-width packed qps (CI asserts a relaxed 0.4x floor — shared
+runners are noisy; the bits/edge bound is deterministic and holds
+everywhere).  Baselines land in ``BENCH_codecs.json`` under
+``BENCH_WRITE_BASELINE=1`` (or when the file is missing).
 """
+
+import json
+import os
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -12,8 +25,21 @@ import pytest
 from repro.analysis.tables import render_table
 from repro.bitpack import available_codecs, get_codec, row_gaps
 from repro import open_store
+from repro.query import batch_edge_existence
+from repro.serve import zipf_nodes
 
 from conftest import report
+
+N_QUERIES = 10_000
+SKEW = 1.2
+BITS_PER_EDGE_GATE = 12.8
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_codecs.json"
+
+# Local bar per ISSUE acceptance: the reordered+compact store serves the
+# Zipf batch workload at least as fast as the fixed-width packed path
+# (dedup + smaller decode widths more than pay for the id translation).
+# CI runners are noisy, so CI asserts a 0.4x floor.
+QPS_FLOOR = 0.4 if os.environ.get("CI") else 1.0
 
 
 @pytest.fixture(scope="module")
@@ -90,5 +116,165 @@ def test_representation_comparison(benchmark, graphs):
     report(
         "Representation comparison: total bits/edge",
         render_table(["graph", "bit-packed CSR (paper)", "gap + packed", "k2-tree [18]"], rows),
+    )
+    assert len(rows) == 4
+
+
+# --- compact pipeline: reordering x adaptive codecs ---------------------
+
+
+@pytest.fixture(scope="module")
+def mono(medium_standin):
+    ds = medium_standin
+    return open_store("packed", ds.sources, ds.destinations, ds.num_nodes)
+
+
+@pytest.fixture(scope="module")
+def compact_reordered(medium_standin):
+    ds = medium_standin
+    return open_store(
+        "reordered", ds.sources, ds.destinations, ds.num_nodes,
+        order="degree", inner="compact", codecs="auto",
+    )
+
+
+@pytest.fixture(scope="module")
+def workload(medium_standin):
+    """10k Zipf node lookups + 10k Zipf-source edge probes, half planted."""
+    ds = medium_standin
+    n = ds.num_nodes
+    rng = np.random.default_rng(17)
+    unodes = zipf_nodes(N_QUERIES, n, SKEW, rng=rng)
+    qs = np.stack(
+        [zipf_nodes(N_QUERIES, n, SKEW, rng=rng), rng.integers(0, n, N_QUERIES)],
+        axis=1,
+    )
+    picks = rng.integers(0, ds.num_edges, N_QUERIES // 2)
+    qs[: N_QUERIES // 2, 0] = ds.sources[picks]
+    qs[: N_QUERIES // 2, 1] = ds.destinations[picks]
+    return unodes, qs
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _serve_workload(store, unodes, qs):
+    flat_offs = store.neighbors_batch(unodes)
+    hits = batch_edge_existence(store, qs)
+    return flat_offs, hits
+
+
+def test_compact_bitexact_on_workload(mono, compact_reordered, workload):
+    unodes, qs = workload
+    (want_flat, want_offs), want_hits = _serve_workload(mono, unodes, qs)
+    (got_flat, got_offs), got_hits = _serve_workload(
+        compact_reordered, unodes, qs
+    )
+    assert np.array_equal(got_offs, want_offs)
+    assert np.array_equal(
+        np.asarray(got_flat, dtype=np.int64), np.asarray(want_flat, dtype=np.int64)
+    )
+    assert np.array_equal(got_hits, want_hits)
+
+
+def test_compact_pipeline_gate(mono, compact_reordered, workload):
+    """The headline gate: degree reordering + adaptive codecs at
+    <= 12.8 bits/edge, serving no slower than the fixed-width path."""
+    unodes, qs = workload
+    total = 2 * N_QUERIES
+    bits = compact_reordered.bits_per_edge()
+
+    _serve_workload(compact_reordered, unodes, qs)  # warm
+    t_mono, _ = _best_of(lambda: _serve_workload(mono, unodes, qs))
+    t_compact, _ = _best_of(
+        lambda: _serve_workload(compact_reordered, unodes, qs)
+    )
+    ratio = t_mono / t_compact
+
+    breakdown = compact_reordered.inner.codec_breakdown()
+    baseline = {
+        "store": "ReorderedStore(degree) over CompactStore(auto), "
+                 "pokec stand-in, 1/64 scale",
+        "workload": f"{N_QUERIES} zipf({SKEW}) neighbors + "
+                    f"{N_QUERIES} edge probes",
+        "graph": {
+            "nodes": int(mono.num_nodes), "edges": int(mono.num_edges)
+        },
+        "packed_bits_per_edge": mono.bits_per_edge(),
+        "compact_bits_per_edge": bits,
+        "codec_breakdown": {
+            name: {k: int(v) for k, v in row.items()}
+            for name, row in sorted(breakdown.items())
+        },
+        "mono_s": t_mono,
+        "compact_s": t_compact,
+        "qps_ratio": ratio,
+        "compact_qps": total / t_compact,
+    }
+    # refresh the committed baseline only on request — a plain test run
+    # must not dirty the working tree with this machine's numbers
+    if os.environ.get("BENCH_WRITE_BASELINE") or not BASELINE_PATH.exists():
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+
+    report(
+        f"Compact pipeline gate ({N_QUERIES}-query Zipf workload)",
+        render_table(
+            ["store", "bits/edge", "workload ms", "qps ratio"],
+            [
+                ["packed fixed (paper)", f"{mono.bits_per_edge():.2f}",
+                 f"{t_mono * 1e3:.1f}", "1.00x"],
+                ["degree + compact", f"{bits:.2f}",
+                 f"{t_compact * 1e3:.1f}", f"{ratio:.2f}x"],
+            ],
+            title=(f"gates: <= {BITS_PER_EDGE_GATE} bits/edge, "
+                   f">= {QPS_FLOOR}x qps"),
+        ),
+    )
+    assert bits <= BITS_PER_EDGE_GATE, (
+        f"compact pipeline at {bits:.2f} bits/edge "
+        f"(gate {BITS_PER_EDGE_GATE})"
+    )
+    assert ratio >= QPS_FLOOR, (
+        f"compact qps fell to {ratio:.2f}x of packed fixed "
+        f"(floor {QPS_FLOOR}x)"
+    )
+
+
+def test_ordering_codec_sweep(medium_standin):
+    """Bits/edge for every ordering x codec-candidate set — the
+    EXPERIMENTS.md table quantifying what each half of the pipeline
+    buys on its own."""
+    ds = medium_standin
+    edges = (ds.sources, ds.destinations, ds.num_nodes)
+    packed = open_store("packed", *edges)
+    candidate_sets = [
+        ("fixed", ("fixed",)),
+        ("varint", ("varint",)),
+        ("auto", "auto"),
+        ("auto+zeta", ("fixed", "varint", "zeta2", "zeta3", "zeta4")),
+    ]
+    rows = []
+    for order in ("natural", "degree", "bfs", "slashburn"):
+        row = [order]
+        for _, codecs in candidate_sets:
+            store = open_store(
+                "reordered", *edges, order=order, inner="compact",
+                codecs=codecs,
+            )
+            row.append(f"{store.bits_per_edge():.2f}")
+        rows.append(row)
+    report(
+        "Compact pipeline sweep: bits/edge by ordering x codec candidates "
+        f"(pokec stand-in; packed fixed = {packed.bits_per_edge():.2f})",
+        render_table(
+            ["ordering"] + [label for label, _ in candidate_sets], rows
+        ),
     )
     assert len(rows) == 4

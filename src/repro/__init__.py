@@ -20,6 +20,11 @@ Public surface, by paper section:
   :mod:`repro.disk` — the memory-mapped on-disk store
   (:class:`DiskStore`) with out-of-core construction
   (:func:`build_disk_store`) for graphs bigger than RAM.
+* Compact pipeline (DESIGN.md §9): :mod:`repro.reorder` — vertex
+  reordering (:func:`compute_ordering`, :class:`ReorderedStore`) —
+  plus adaptive per-segment edge codecs (:class:`CompactStore`, the
+  disk format-v2 codec tags) that cut bits/edge while keeping queries
+  bit-exact in the original id space.
 """
 
 from . import (
@@ -31,6 +36,7 @@ from . import (
     disk,
     parallel,
     query,
+    reorder,
     serve,
     shard,
     stores,
@@ -38,14 +44,16 @@ from . import (
 )
 from .csr import (
     BitPackedCSR,
+    CompactStore,
     CSRGraph,
     build_bitpacked_csr,
+    build_compact_csr,
     build_csr,
     build_csr_serial,
     read_edge_list,
     write_edge_list,
 )
-from .disk import DiskStore, build_disk_store, write_disk_store
+from .disk import DiskStore, build_disk_store, open_disk_store, write_disk_store
 from .errors import (
     AdmissionError,
     CodecError,
@@ -65,6 +73,12 @@ from .parallel import (
     prefix_sum_parallel,
 )
 from .query import QueryEngine
+from .reorder import (
+    ReorderedStore,
+    available_orderings,
+    build_reordered_store,
+    compute_ordering,
+)
 from .serve import GraphQueryServer
 from .shard import ShardedStore, build_sharded_store
 from .stores import available_stores, open_store, register_store
@@ -81,13 +95,16 @@ __all__ = [
     "disk",
     "parallel",
     "query",
+    "reorder",
     "serve",
     "shard",
     "stores",
     "temporal",
     "BitPackedCSR",
+    "CompactStore",
     "CSRGraph",
     "build_bitpacked_csr",
+    "build_compact_csr",
     "build_csr",
     "build_csr_serial",
     "read_edge_list",
@@ -112,7 +129,12 @@ __all__ = [
     "build_sharded_store",
     "DiskStore",
     "build_disk_store",
+    "open_disk_store",
     "write_disk_store",
+    "ReorderedStore",
+    "available_orderings",
+    "build_reordered_store",
+    "compute_ordering",
     "available_stores",
     "open_store",
     "register_store",

@@ -42,7 +42,22 @@ from .registry import (
     get_codec,
     register_codec,
 )
+from .segcodec import (
+    DEFAULT_CANDIDATES,
+    SEGMENT_CODECS,
+    SegmentEncoding,
+    decode_rows,
+    encode_row_segment,
+    resolve_codecs,
+)
 from .varint import VarintCodec, varint_decode, varint_encode, varint_nbytes
+from .zeta import (
+    ZetaCodec,
+    zeta_decode,
+    zeta_decode_rows,
+    zeta_encode,
+    zeta_value_nbits,
+)
 
 __all__ = [
     "BitArray",
@@ -81,4 +96,15 @@ __all__ = [
     "varint_decode",
     "varint_encode",
     "varint_nbytes",
+    "ZetaCodec",
+    "zeta_decode",
+    "zeta_decode_rows",
+    "zeta_encode",
+    "zeta_value_nbits",
+    "DEFAULT_CANDIDATES",
+    "SEGMENT_CODECS",
+    "SegmentEncoding",
+    "decode_rows",
+    "encode_row_segment",
+    "resolve_codecs",
 ]

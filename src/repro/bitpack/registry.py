@@ -115,8 +115,10 @@ def _register_builtins() -> None:
     from .elias import EliasDeltaCodec, EliasGammaCodec
     from .fixed import FixedWidthCodec
     from .varint import VarintCodec
+    from .zeta import ZetaCodec
 
-    for codec in (FixedWidthCodec(), VarintCodec(), EliasGammaCodec(), EliasDeltaCodec()):
+    for codec in (FixedWidthCodec(), VarintCodec(), EliasGammaCodec(), EliasDeltaCodec(),
+                  ZetaCodec(2), ZetaCodec(3), ZetaCodec(4)):
         if codec.name not in _REGISTRY:
             register_codec(codec)
 

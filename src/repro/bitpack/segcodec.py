@@ -1,0 +1,221 @@
+"""Per-row-range adaptive codec selection — the compact pipeline core.
+
+The builder splits a CSR's gap-transformed column array into row-aligned
+segments (:func:`repro.disk.format.plan_row_segments` granularity) and,
+for every segment, *measures* each candidate codec and keeps the
+smallest — the per-region adaptivity recommended by the Besta–Hoefler
+compression survey (PAPERS.md).  A hub-heavy segment full of tiny gaps
+compresses best under a variable-length code; a sparse tail segment
+with huge absolute first-neighbour values often stays cheapest at fixed
+width.  The winner's name and parameters travel with the segment (npz
+keys for :class:`~repro.csr.compact.CompactStore`, manifest-v2 fields
+for the disk store), and the decode side dispatches back through
+:func:`decode_rows` here.
+
+Three codec families are wired in:
+
+``fixed``
+    The existing fixed-width gap packing (paper Algorithm 4) at the
+    segment-local maximum gap width.  Self-indexing: row starts follow
+    from the CSR offsets, so no side table is needed.
+
+``varint``
+    LEB128 byte stream (:mod:`repro.bitpack.varint`) plus a fixed-width
+    table of per-row byte offsets — variable length needs explicit row
+    starts for random access.
+
+``zeta2`` / ``zeta3`` / ``zeta4``
+    Zeta-k bit codes (:mod:`repro.bitpack.zeta`) plus a per-row bit
+    offset table.  Best compression on reordered power-law graphs, but
+    the decoder runs one pass per neighbour rank, so they are opt-in
+    (explicit ``--codec``) rather than part of the ``auto`` candidate
+    set, whose members all decode in rank-independent passes.
+
+Codec *selection* cost is build-time only; queries pay just the one
+winning decoder per touched segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CodecError, ValidationError
+from ..utils import bits_for_value
+from .bitarray import BitArray
+from .delta import rows_from_gaps
+from .fixed import pack_fixed, read_fields
+from .varint import varint_decode, varint_encode, varint_nbytes
+from .zeta import zeta_decode_rows, zeta_encode, zeta_value_nbits
+
+__all__ = [
+    "SEGMENT_CODECS",
+    "DEFAULT_CANDIDATES",
+    "SegmentEncoding",
+    "resolve_codecs",
+    "encode_row_segment",
+    "decode_rows",
+]
+
+#: every codec the segment layer can tag and decode
+SEGMENT_CODECS = ("fixed", "varint", "zeta2", "zeta3", "zeta4")
+
+#: the ``auto`` candidate set: rank-independent decoders only
+DEFAULT_CANDIDATES = ("fixed", "varint")
+
+
+@dataclass(frozen=True)
+class SegmentEncoding:
+    """One segment's winning encoding: payload plus row-access metadata.
+
+    ``enc_width`` is codec-specific: the field width for ``fixed``, the
+    shard parameter *k* for ``zeta``, and zero for ``varint``.  The
+    ``starts`` table (absent for the self-indexing ``fixed``) holds
+    ``num_rows + 1`` fixed-width entries — byte offsets for ``varint``,
+    bit offsets for ``zeta`` — packed at ``starts_width`` bits each.
+    """
+
+    codec: str
+    enc_width: int
+    payload: BitArray
+    starts: BitArray | None = None
+    starts_width: int = 0
+
+    @property
+    def total_bits(self) -> int:
+        """Payload plus row-start-table size — the selection metric."""
+        return self.payload.nbits + (self.starts.nbits if self.starts else 0)
+
+    @property
+    def starts_nbytes(self) -> int:
+        """Bytes the starts table occupies when serialised before the payload."""
+        return self.starts.nbytes if self.starts else 0
+
+
+def resolve_codecs(spec) -> tuple[str, ...]:
+    """Normalise a codec request to a tuple of candidate names.
+
+    Accepts ``None`` / ``"auto"`` (the default candidates), a single
+    name, a comma-separated string, or a sequence of names.  Unknown
+    names raise a one-line :class:`~repro.errors.CodecError` listing
+    the registered choices.
+    """
+    if spec is None:
+        return DEFAULT_CANDIDATES
+    if isinstance(spec, str):
+        if spec.strip().lower() == "auto":
+            return DEFAULT_CANDIDATES
+        names = [part.strip() for part in spec.split(",") if part.strip()]
+    else:
+        names = [str(part) for part in spec]
+    if not names:
+        raise ValidationError("empty codec list")
+    for name in names:
+        if name not in SEGMENT_CODECS:
+            known = ", ".join(SEGMENT_CODECS)
+            raise CodecError(f"unknown codec '{name}' (known: {known}, auto)")
+    return tuple(names)
+
+
+def _zeta_k(codec: str) -> int:
+    return int(codec[len("zeta"):])
+
+
+def _encode_one(codec: str, gaps: np.ndarray, local_indptr: np.ndarray) -> SegmentEncoding:
+    if codec == "fixed":
+        width = bits_for_value(int(gaps.max()) if gaps.size else 0)
+        return SegmentEncoding(codec, width, pack_fixed(gaps, width))
+    if codec == "varint":
+        stream = varint_encode(gaps)
+        positions = np.zeros(gaps.shape[0] + 1, dtype=np.int64)
+        np.cumsum(varint_nbytes(gaps), out=positions[1:])
+        starts_width = bits_for_value(int(stream.shape[0]))
+        starts = pack_fixed(positions[local_indptr], starts_width)
+        return SegmentEncoding(
+            codec, 0, BitArray(stream, stream.shape[0] * 8), starts, starts_width
+        )
+    if codec.startswith("zeta"):
+        k = _zeta_k(codec)
+        payload = zeta_encode(gaps, k)
+        positions = np.zeros(gaps.shape[0] + 1, dtype=np.int64)
+        np.cumsum(zeta_value_nbits(gaps, k), out=positions[1:])
+        starts_width = bits_for_value(payload.nbits)
+        starts = pack_fixed(positions[local_indptr], starts_width)
+        return SegmentEncoding(codec, k, payload, starts, starts_width)
+    known = ", ".join(SEGMENT_CODECS)
+    raise CodecError(f"unknown codec '{codec}' (known: {known}, auto)")
+
+
+def encode_row_segment(gaps, local_indptr, candidates=None) -> SegmentEncoding:
+    """Encode one segment under every candidate and keep the smallest.
+
+    *gaps* is the segment's gap-transformed column slice and
+    *local_indptr* delimits its rows (``num_rows + 1`` entries, zero
+    based).  Sizes compare on :attr:`SegmentEncoding.total_bits` — the
+    starts table counts against variable-length codecs, so a win must
+    pay for its own index.  Ties keep the earlier candidate.
+    """
+    gaps = np.asarray(gaps, dtype=np.uint64)
+    local_indptr = np.asarray(local_indptr, dtype=np.int64)
+    if local_indptr.ndim != 1 or local_indptr.size == 0:
+        raise ValidationError("local_indptr must be a non-empty 1-D array")
+    if int(local_indptr[-1]) != gaps.shape[0]:
+        raise ValidationError("local_indptr must end at len(gaps)")
+    best: SegmentEncoding | None = None
+    for name in resolve_codecs(candidates):
+        enc = _encode_one(name, gaps, local_indptr)
+        if best is None or enc.total_bits < best.total_bits:
+            best = enc
+    assert best is not None
+    return best
+
+
+def decode_rows(
+    codec: str,
+    payload: BitArray,
+    enc_width: int,
+    starts: BitArray | None,
+    starts_width: int,
+    rows,
+    degrees,
+    field_starts,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Decode selected *rows* of one encoded segment, vectorised.
+
+    *rows* are segment-local row indices, *degrees* their lengths, and
+    *field_starts* their segment-local first-field indices (used by the
+    self-indexing ``fixed`` codec; the others consult their ``starts``
+    table).  Returns ``(values, offsets)`` with the gap transform
+    already undone — values are absolute neighbour ids as stored.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    degrees = np.asarray(degrees, dtype=np.int64)
+    if codec not in SEGMENT_CODECS:
+        known = ", ".join(SEGMENT_CODECS)
+        raise CodecError(f"unknown codec '{codec}' (known: {known}, auto)")
+    if codec == "fixed":
+        from ..csr.getrow import get_rows_gap_decoded
+
+        return get_rows_gap_decoded(payload, np.asarray(field_starts, dtype=np.int64),
+                                    degrees, enc_width)
+    if starts is None:
+        raise CodecError(f"codec '{codec}' requires a row-starts table")
+    b0 = read_fields(starts, starts_width, rows).astype(np.int64)
+    b1 = read_fields(starts, starts_width, rows + 1).astype(np.int64)
+    offsets = np.zeros(rows.shape[0] + 1, dtype=np.int64)
+    np.cumsum(degrees, out=offsets[1:])
+    if codec == "varint":
+        lengths = b1 - b0
+        out_starts = np.zeros(rows.shape[0], dtype=np.int64)
+        np.cumsum(lengths[:-1], out=out_starts[1:])
+        total = int(out_starts[-1] + lengths[-1]) if lengths.size else 0
+        buf = payload.buffer[: payload.nbytes]
+        index = np.arange(total, dtype=np.int64) + np.repeat(b0 - out_starts, lengths)
+        gaps = varint_decode(buf[index], count=int(offsets[-1]))
+        return rows_from_gaps(offsets, gaps), offsets
+    if codec.startswith("zeta"):
+        gaps, offs = zeta_decode_rows(payload, b0, degrees, enc_width, bit_ends=b1)
+        return rows_from_gaps(offs, gaps), offs
+    known = ", ".join(SEGMENT_CODECS)
+    raise CodecError(f"unknown codec '{codec}' (known: {known}, auto)")

@@ -7,7 +7,11 @@ Commands
   parallel pipeline of Section III on a simulated p-processor machine;
   ``--shards N --partitioner {range,hash}`` builds a sharded store
   (one sub-store per virtual processor group) instead.
-* ``info`` — inspect a packed CSR (or sharded) file.
+* ``compact`` — re-encode an existing store through the compact
+  pipeline (vertex reordering + adaptive per-segment edge codecs) and
+  report the bits/edge before and after.
+* ``info`` — inspect a store file: sizes, active ordering, and the
+  per-segment codec breakdown.
 * ``query`` — neighbours / edge existence against a store file,
   optionally through an LRU row cache (``--cache-elements``) and/or
   re-sharded in memory (``--shards N``).
@@ -33,11 +37,13 @@ from .csr.io import (
     write_edge_list,
     write_edge_list_binary,
 )
+from .csr.compact import CompactStore
 from .csr.packed import BitPackedCSR
 from .datasets import ba_edges, er_edges, rmat_edges, standin
 from .disk import DiskStore
 from .errors import ReproError
 from .parallel import SerialExecutor, SimulatedMachine
+from .reorder import ReorderedStore, available_orderings
 from .shard import PARTITIONER_KINDS, ShardedStore
 from .stores import open_store
 from .utils import human_bytes
@@ -45,6 +51,29 @@ from .utils import human_bytes
 _BINARY_MAGIC = b"REPROEL1"
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_compact_flags(cmd, *, order_default: str, codec_default) -> None:
+    cmd.add_argument("--order", default=order_default,
+                     help="vertex reordering applied before packing "
+                     "(natural, degree, bfs, slashburn); queries still "
+                     "answer in the original id space "
+                     f"(default {order_default})")
+    cmd.add_argument("--codec", default=codec_default,
+                     help="adaptive per-segment edge codecs: 'auto' or a "
+                     "comma list of fixed,varint,zeta2,zeta3,zeta4 "
+                     "(implies the gap transform)")
+
+
+def _check_compact_flags(args) -> None:
+    """Fail fast with one-line errors for unknown codec/ordering names."""
+    if args.codec is not None:
+        from .bitpack.segcodec import resolve_codecs
+
+        resolve_codecs(args.codec)
+    if args.order != "natural" and args.order not in available_orderings():
+        known = ", ".join(available_orderings())
+        raise ReproError(f"unknown ordering '{args.order}' (known: {known})")
 
 
 def _add_shard_flags(cmd) -> None:
@@ -98,7 +127,20 @@ def build_parser() -> argparse.ArgumentParser:
                        "disk build")
     build.add_argument("--segment-bytes", type=int, default=None,
                        help="target payload bytes per disk segment file")
+    _add_compact_flags(build, order_default="natural", codec_default=None)
     _add_shard_flags(build)
+
+    comp = sub.add_parser(
+        "compact",
+        help="re-encode a store: vertex reordering + adaptive edge codecs",
+    )
+    comp.add_argument("input", help=".npz or disk directory from 'build'")
+    comp.add_argument("output", help="output .npz path (or directory with "
+                      "--format disk)")
+    comp.add_argument("--format", choices=["npz", "disk"], default="npz")
+    comp.add_argument("--segment-bytes", type=int, default=None,
+                      help="target payload bytes per codec segment")
+    _add_compact_flags(comp, order_default="degree", codec_default="auto")
 
     info = sub.add_parser("info", help="inspect a store (.npz or disk directory)")
     info.add_argument("input", help=".npz or disk directory from 'build'")
@@ -197,6 +239,7 @@ def _cmd_build(args) -> int:
     machine = (
         SimulatedMachine(args.processors) if args.processors > 1 else SerialExecutor()
     )
+    _check_compact_flags(args)
     binary_input = _is_binary_edge_list(args.input)
 
     if args.format == "disk":
@@ -210,23 +253,40 @@ def _cmd_build(args) -> int:
             )
         segment_bytes = int(args.segment_bytes or DEFAULT_SEGMENT_BYTES)
         if binary_input:
+            if args.order != "natural":
+                raise ReproError(
+                    "--order needs the in-memory pipeline; the out-of-core "
+                    "binary build cannot relabel (build from a text edge "
+                    "list, or re-encode afterwards with 'repro compact')"
+                )
             # out of core: the edge file is streamed in chunk passes and
             # the graph never materialises in memory
             store = build_disk_store(
                 args.input, args.output, sort=not args.no_sort,
-                gap_encode=args.gap, chunk_edges=args.chunk_edges,
+                gap_encode=args.gap, codecs=args.codec,
+                chunk_edges=args.chunk_edges,
                 segment_bytes=segment_bytes, executor=machine,
             )
             print(f"input : {store.num_edges:,} edges, {store.num_nodes:,} "
                   f"nodes (binary, streamed out of core)")
         else:
             src, dst, n = read_edge_list(args.input)
+            perm = None
+            if args.order != "natural":
+                from .csr.builder import build_csr_serial, ensure_sorted
+                from .reorder import compute_ordering
+
+                s2, d2 = ensure_sorted(src, dst)
+                perm = compute_ordering(args.order, build_csr_serial(s2, d2, n))
+                src, dst = perm[src], perm[dst]
             packed = open_store(
                 "gap" if args.gap else "packed", src, dst, n,
-                executor=machine, sort=not args.no_sort,
+                executor=machine, sort=not args.no_sort or perm is not None,
             )
             store = write_disk_store(packed, args.output,
-                                     segment_bytes=segment_bytes)
+                                     segment_bytes=segment_bytes,
+                                     codecs=args.codec,
+                                     ordering=args.order, perm=perm)
             print(f"input : {len(src):,} edges, {n:,} nodes "
                   f"({human_bytes(edge_list_text_size(src, dst))} as text)")
         print(f"output: {store}")
@@ -239,16 +299,33 @@ def _cmd_build(args) -> int:
         src, dst, n = read_edge_list_binary(args.input)
     else:
         src, dst, n = read_edge_list(args.input)
-    inner = "gap" if args.gap else "packed"
+    inner = "compact" if args.codec is not None else ("gap" if args.gap else "packed")
+    inner_opts = {}
+    if args.codec is not None:
+        inner_opts["codecs"] = args.codec
+        if args.segment_bytes:
+            inner_opts["segment_bytes"] = int(args.segment_bytes)
     if args.shards > 1:
+        if args.codec is not None or args.order != "natural":
+            raise ReproError(
+                "--shards cannot combine with --codec/--order on the CLI; "
+                "build a sharded store over a compact inner via the API "
+                "(build_sharded_store(inner='compact', ...))"
+            )
         store = open_store(
             "sharded", src, dst, n, shards=args.shards,
             partitioner=args.partitioner, inner=inner,
             executor=machine, sort=not args.no_sort,
         )
+    elif args.order != "natural":
+        store = open_store(
+            "reordered", src, dst, n, order=args.order, inner=inner,
+            executor=machine, **inner_opts,
+        )
     else:
         store = open_store(
-            inner, src, dst, n, executor=machine, sort=not args.no_sort
+            inner, src, dst, n, executor=machine, sort=not args.no_sort,
+            **inner_opts,
         )
     store.save(args.output)
     print(f"input : {len(src):,} edges, {n:,} nodes "
@@ -259,26 +336,43 @@ def _cmd_build(args) -> int:
     return 0
 
 
+_NPZ_LOADERS = {
+    "sharded": ShardedStore.load,
+    "compact": CompactStore.load,
+    "reordered": ReorderedStore.load,
+}
+
+
 def _load(path):
     """Open a store: a disk-store directory or an ``.npz`` file.
 
-    Directories open as :class:`~repro.disk.DiskStore` (checksums
-    verified); ``.npz`` files as packed or sharded stores by key
-    sniffing.  A file whose keys match no known kind raises a one-line
+    Directories open through :func:`~repro.disk.open_disk_store`
+    (checksums verified, reordered stores re-wrapped); ``.npz`` files
+    dispatch on their ``store_kind`` key, falling back to packed-CSR
+    key sniffing.  A file matching no known kind raises a one-line
     :class:`ReproError` naming the file and the kinds understood.
     """
+    from .disk import open_disk_store
+
     p = Path(path)
     if p.is_dir():
-        return DiskStore.open(p)
+        return open_disk_store(p)
     with np.load(p) as data:
         files = set(data.files)
-    if "store_kind" in files:
-        return ShardedStore.load(path)
+        kind = str(data["store_kind"]) if "store_kind" in files else None
+    if kind is not None:
+        if kind not in _NPZ_LOADERS:
+            known = ", ".join(sorted(_NPZ_LOADERS))
+            raise ReproError(
+                f"{path}: unknown store kind '{kind}' (known kinds: {known})"
+            )
+        return _NPZ_LOADERS[kind](path)
     if {"num_nodes", "offsets", "columns"} <= files:
         return BitPackedCSR.load(path)
     raise ReproError(
         f"{path}: not a recognized store file (keys: {', '.join(sorted(files))}); "
-        "known kinds: packed CSR .npz, sharded .npz, disk-store directory"
+        "known kinds: packed CSR .npz, sharded/compact/reordered .npz, "
+        "disk-store directory"
     )
 
 
@@ -294,8 +388,42 @@ def _reshard(store, args):
     )
 
 
+def _print_codec_lines(store) -> None:
+    """Per-codec segment/size breakdown lines (stores that track codecs)."""
+    fn = getattr(store, "codec_breakdown", None)
+    if not callable(fn):
+        return
+    for name, row in sorted(fn().items()):
+        per_edge = row["bits"] / max(1, row["edges"])
+        print(f"  codec {name:<9}: {row['segments']} segments, "
+              f"{row['edges']:,} edges, {per_edge:.2f} bits/edge")
+
+
 def _cmd_info(args) -> int:
     packed = _load(args.input)
+    if isinstance(packed, ReorderedStore):
+        print(packed)
+        print(f"  nodes          : {packed.num_nodes:,}")
+        print(f"  edges          : {packed.num_edges:,}")
+        print(f"  ordering       : {packed.ordering}")
+        print(f"  id tables      : "
+              f"{human_bytes(packed.perm.nbytes + packed.inv.nbytes)}")
+        print(f"  inner          : {packed.inner}")
+        print(f"  memory         : {human_bytes(packed.memory_bytes())}")
+        print(f"  bits per edge  : {packed.bits_per_edge():.2f} "
+              "(inner encoding; id tables excluded)")
+        _print_codec_lines(packed.inner)
+        return 0
+    if isinstance(packed, CompactStore):
+        print(packed)
+        print(f"  nodes          : {packed.num_nodes:,}")
+        print(f"  edges          : {packed.num_edges:,}")
+        print(f"  offset width   : {packed.offset_width} bits")
+        print(f"  segments       : {len(packed.segments)} column")
+        print(f"  payload        : {human_bytes(packed.memory_bytes())}")
+        print(f"  bits per edge  : {packed.bits_per_edge():.2f}")
+        _print_codec_lines(packed)
+        return 0
     if isinstance(packed, DiskStore):
         print(packed)
         print(f"  nodes          : {packed.num_nodes:,}")
@@ -303,11 +431,13 @@ def _cmd_info(args) -> int:
         print(f"  offset width   : {packed.offset_width} bits")
         print(f"  column width   : {packed.column_width} bits")
         print(f"  gap encoded    : {packed.gap_encoded}")
+        print(f"  ordering       : {packed.ordering}")
         print(f"  segments       : {len(packed.manifest.offsets)} offset + "
               f"{len(packed.manifest.columns)} column")
         print(f"  on disk        : {human_bytes(packed.disk_bytes())}")
         print(f"  resident       : {human_bytes(packed.memory_bytes())}")
         print(f"  bits per edge  : {packed.bits_per_edge():.2f}")
+        _print_codec_lines(packed)
         return 0
     if isinstance(packed, ShardedStore):
         print(packed)
@@ -327,6 +457,50 @@ def _cmd_info(args) -> int:
     print(f"  weighted       : {packed.is_weighted}")
     print(f"  payload        : {human_bytes(packed.memory_bytes())}")
     print(f"  bits per edge  : {packed.bits_per_edge():.2f}")
+    return 0
+
+
+def _cmd_compact(args) -> int:
+    _check_compact_flags(args)
+    store = _load(args.input)
+    before = store.bits_per_edge()
+    graph = store.to_csr()
+    src, dst = graph.edges()
+    n = graph.num_nodes
+    seg_opts = (
+        {"segment_bytes": int(args.segment_bytes)} if args.segment_bytes else {}
+    )
+    if args.format == "disk":
+        from .csr.packed import build_bitpacked_csr
+        from .disk import DEFAULT_SEGMENT_BYTES, write_disk_store
+        from .reorder import compute_ordering
+
+        perm = None
+        if args.order != "natural":
+            perm = compute_ordering(args.order, graph)
+            src, dst = perm[src], perm[dst]
+        inner = build_bitpacked_csr(src, dst, n, None, sort=True)
+        out = write_disk_store(
+            inner, args.output,
+            segment_bytes=int(args.segment_bytes or DEFAULT_SEGMENT_BYTES),
+            codecs=args.codec, ordering=args.order, perm=perm,
+        )
+    else:
+        if args.order != "natural":
+            out = open_store(
+                "reordered", src, dst, n, order=args.order,
+                inner="compact", codecs=args.codec, **seg_opts,
+            )
+        else:
+            out = open_store(
+                "compact", src, dst, n, codecs=args.codec, **seg_opts,
+            )
+        out.save(args.output)
+    after = out.bits_per_edge()
+    saved = (1.0 - after / max(before, 1e-12)) * 100.0
+    print(f"input : {store}")
+    print(f"output: {out}")
+    print(f"bits/edge: {before:.2f} -> {after:.2f} ({saved:+.1f}% saved)")
     return 0
 
 
@@ -468,6 +642,7 @@ def _cmd_report(args) -> int:
 _COMMANDS = {
     "generate": _cmd_generate,
     "build": _cmd_build,
+    "compact": _cmd_compact,
     "info": _cmd_info,
     "query": _cmd_query,
     "bench": _cmd_bench,

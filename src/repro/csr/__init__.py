@@ -23,6 +23,7 @@ from .io import (
     write_edge_list,
     write_edge_list_binary,
 )
+from .compact import CompactStore, build_compact_csr
 from .packed import BitPackedCSR, build_bitpacked_csr, pack_array_parallel
 from .reorder import bfs_order, degree_order, induced_subgraph, relabel
 from .spgemm import spgemm, spgemm_bool, spgemm_count, two_hop_neighbors
@@ -55,6 +56,8 @@ __all__ = [
     "BitPackedCSR",
     "build_bitpacked_csr",
     "pack_array_parallel",
+    "CompactStore",
+    "build_compact_csr",
     "spgemm",
     "spgemm_bool",
     "spgemm_count",

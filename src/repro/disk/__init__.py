@@ -16,6 +16,7 @@ from .format import (
     FORMAT_VERSION,
     MANIFEST_NAME,
     PAGE_BYTES,
+    SUPPORTED_VERSIONS,
     Manifest,
     Segment,
 )
@@ -24,11 +25,31 @@ from .store import DiskStore
 __all__ = [
     "DiskStore",
     "build_disk_store",
+    "open_disk_store",
     "write_disk_store",
     "Manifest",
     "Segment",
     "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
     "MANIFEST_NAME",
     "PAGE_BYTES",
     "DEFAULT_SEGMENT_BYTES",
 ]
+
+
+def open_disk_store(path, *, verify: bool = True):
+    """Open a store directory, restoring original node ids if reordered.
+
+    A plain directory opens as a :class:`DiskStore`.  When the manifest
+    records a vertex permutation (a store written with ``perm=``), the
+    store is wrapped in a
+    :class:`~repro.reorder.ReorderedStore` so queries speak the
+    *original* id space while the packed bits stay in the compact
+    relabeled layout.
+    """
+    store = DiskStore.open(path, verify=verify)
+    if store.manifest.perm is None:
+        return store
+    from ..reorder.store import ReorderedStore
+
+    return ReorderedStore(store, store.load_perm(), ordering=store.ordering)

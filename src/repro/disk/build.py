@@ -17,12 +17,14 @@ Two entry points:
 from __future__ import annotations
 
 import zlib
+from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
 
 from ..bitpack.delta import row_gaps
 from ..bitpack.fixed import pack_fixed, unpack_fixed, unpack_slice
+from ..bitpack.segcodec import SegmentEncoding, encode_row_segment, resolve_codecs
 from ..csr.io import binary_edge_list_info, iter_edge_list_binary
 from ..errors import DiskFormatError, ValidationError
 from ..parallel.machine import Executor, SerialExecutor
@@ -112,6 +114,68 @@ def _write_segment(
     )
 
 
+def _write_encoded_segment(
+    directory: Path,
+    filename: str,
+    enc: SegmentEncoding,
+    *,
+    first_field: int,
+    num_fields: int,
+    first_row: int,
+    num_rows: int,
+) -> Segment:
+    """Write one adaptively encoded segment: [starts table][payload].
+
+    The row-starts table (when the codec needs one) occupies the file's
+    first ``starts_nbytes`` bytes so the store can map both regions
+    from a single file handle.
+    """
+    crc = 0
+    nbytes = 0
+    parts = ([enc.starts] if enc.starts is not None else []) + [enc.payload]
+    with open(directory / filename, "wb") as fh:
+        for bits in parts:
+            payload = bits.buffer[: bits.nbytes].tobytes()
+            fh.write(payload)
+            crc = zlib.crc32(payload, crc)
+            nbytes += len(payload)
+    return Segment(
+        filename=filename,
+        first_field=int(first_field),
+        num_fields=int(num_fields),
+        first_row=int(first_row),
+        num_rows=int(num_rows),
+        nbytes=nbytes,
+        crc32=crc,
+        codec=enc.codec,
+        enc_width=int(enc.enc_width),
+        starts_width=int(enc.starts_width),
+        starts_nbytes=int(enc.starts_nbytes),
+    )
+
+
+def _write_perm_segment(directory: Path, perm, num_nodes: int) -> Segment:
+    """Pack and write the node permutation as its own segment file."""
+    arr = np.asarray(perm, dtype=np.int64)
+    if arr.shape != (num_nodes,):
+        raise ValidationError(f"permutation must have shape ({num_nodes},)")
+    seen = np.zeros(num_nodes, dtype=bool)
+    seen[arr] = True
+    if not seen.all():
+        raise ValidationError("perm must be a permutation of range(n)")
+    width = bits_for_count(num_nodes)
+    seg = _write_segment(
+        directory,
+        "perm.seg",
+        arr.astype(np.uint64),
+        width,
+        first_field=0,
+        first_row=0,
+        num_rows=num_nodes,
+    )
+    return replace(seg, enc_width=width)
+
+
 def _write_offset_segments(
     directory: Path, indptr: np.ndarray, offset_width: int, segment_bytes: int
 ) -> list[Segment]:
@@ -145,6 +209,9 @@ def write_disk_store(
     path,
     *,
     segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    codecs=None,
+    ordering: str = "natural",
+    perm=None,
 ) -> DiskStore:
     """Persist a :class:`~repro.csr.BitPackedCSR` as a disk-store directory.
 
@@ -155,11 +222,21 @@ def write_disk_store(
     written last, so a crashed build never looks like a valid store.
     Returns the opened :class:`DiskStore`.  Weighted graphs are not
     supported on disk yet.
+
+    With *codecs* (a candidate spec for
+    :func:`~repro.bitpack.segcodec.resolve_codecs`) each column segment
+    is gap-transformed and stored under whichever candidate measures
+    smallest, tagged in the format-v2 manifest.  *ordering*/*perm*
+    record the vertex reordering the edges were relabeled under; the
+    permutation is written as its own ``perm.seg`` so
+    :func:`~repro.disk.open_disk_store` can restore original-id
+    queries.
     """
     if getattr(packed, "values", None) is not None:
         raise ValidationError("weighted graphs are not supported by the disk store")
     if segment_bytes <= 0:
         raise ValidationError("segment_bytes must be positive")
+    candidates = resolve_codecs(codecs) if codecs is not None else None
     directory = _prepare_directory(path)
     n, m = packed.num_nodes, packed.num_edges
     indptr = unpack_fixed(packed.offsets, n + 1, packed.offset_width).astype(np.int64)
@@ -168,34 +245,67 @@ def write_disk_store(
         directory, indptr, packed.offset_width, segment_bytes
     )
     column_segments = []
-    for i, (r0, r1) in enumerate(
-        plan_row_segments(indptr, packed.column_width, segment_bytes)
-    ):
-        f0, f1 = int(indptr[r0]), int(indptr[r1])
-        if f1 == f0:
-            continue  # all-empty row run: nothing to store, no file
-        column_segments.append(
-            _write_segment(
-                directory,
-                f"columns-{i:05d}.seg",
-                unpack_slice(packed.columns, packed.column_width, f0, f1 - f0),
-                packed.column_width,
-                first_field=f0,
-                first_row=r0,
-                num_rows=r1 - r0,
+    if candidates is None:
+        column_width = packed.column_width
+        gap_encoded = packed.gap_encoded
+        for i, (r0, r1) in enumerate(
+            plan_row_segments(indptr, packed.column_width, segment_bytes)
+        ):
+            f0, f1 = int(indptr[r0]), int(indptr[r1])
+            if f1 == f0:
+                continue  # all-empty row run: nothing to store, no file
+            column_segments.append(
+                _write_segment(
+                    directory,
+                    f"columns-{i:05d}.seg",
+                    unpack_slice(packed.columns, packed.column_width, f0, f1 - f0),
+                    packed.column_width,
+                    first_field=f0,
+                    first_row=r0,
+                    num_rows=r1 - r0,
+                )
             )
-        )
+    else:
+        # adaptive path: decode once, gap-transform and measure per segment
+        graph = packed.to_csr()
+        column_width = bits_for_count(n)
+        gap_encoded = True
+        for i, (r0, r1) in enumerate(
+            plan_row_segments(indptr, column_width, segment_bytes)
+        ):
+            f0, f1 = int(indptr[r0]), int(indptr[r1])
+            if f1 == f0:
+                continue
+            vals = graph.indices[f0:f1].astype(np.uint64)
+            local_iptr = indptr[r0 : r1 + 1] - f0
+            enc = encode_row_segment(row_gaps(local_iptr, vals), local_iptr, candidates)
+            column_segments.append(
+                _write_encoded_segment(
+                    directory,
+                    f"columns-{i:05d}.seg",
+                    enc,
+                    first_field=f0,
+                    num_fields=f1 - f0,
+                    first_row=r0,
+                    num_rows=r1 - r0,
+                )
+            )
 
+    perm_segment = (
+        _write_perm_segment(directory, perm, n) if perm is not None else None
+    )
     manifest = Manifest(
         version=FORMAT_VERSION,
         num_nodes=n,
         num_edges=m,
         offset_width=packed.offset_width,
-        column_width=packed.column_width,
-        gap_encoded=packed.gap_encoded,
+        column_width=column_width,
+        gap_encoded=gap_encoded,
         segment_bytes=int(segment_bytes),
         offsets=tuple(offset_segments),
         columns=tuple(column_segments),
+        ordering=str(ordering),
+        perm=perm_segment,
     )
     manifest.save(directory)
     return DiskStore(directory, manifest)
@@ -208,6 +318,7 @@ def build_disk_store(
     num_nodes: int | None = None,
     sort: bool = True,
     gap_encode: bool = False,
+    codecs=None,
     chunk_edges: int = 1 << 20,
     segment_bytes: int = DEFAULT_SEGMENT_BYTES,
     executor: Executor | None = None,
@@ -229,12 +340,22 @@ def build_disk_store(
     the packed output is bit-identical to the in-memory pipeline
     (:func:`~repro.csr.build_bitpacked_csr` then
     :func:`write_disk_store`).  Returns the opened :class:`DiskStore`.
+
+    With *codecs* each column segment is gap-transformed and stored
+    under the smallest measured candidate (format v2) — still fully out
+    of core, since codec selection is a per-segment operation.  Sorting
+    is required in that mode (the gap transform needs sorted rows).
     """
     executor = executor or SerialExecutor()
     if chunk_edges <= 0:
         raise ValidationError("chunk_edges must be positive")
     if segment_bytes <= 0:
         raise ValidationError("segment_bytes must be positive")
+    candidates = resolve_codecs(codecs) if codecs is not None else None
+    if candidates is not None and not sort:
+        raise ValidationError(
+            "adaptive codecs require sort=True (the gap transform needs sorted rows)"
+        )
     edge_path = Path(edge_path)
     m, _ = binary_edge_list_info(edge_path)
     directory = _prepare_directory(path)
@@ -288,7 +409,11 @@ def build_disk_store(
     # Column width.  Gap mode needs the global maximum gap, which only
     # exists after per-row sorting — one extra segment-bounded pass that
     # sorts each row in place (in the temporary) and records the max.
-    if gap_encode:
+    if candidates is not None:
+        # adaptive mode: widths are per-segment, no global pass needed
+        column_width = bits_for_count(n)
+        sort_in_pack = True
+    elif gap_encode:
         max_gap = 0
         for r0, r1 in plan_row_segments(indptr, bits_for_count(n), segment_bytes):
             f0, f1 = int(indptr[r0]), int(indptr[r1])
@@ -320,6 +445,23 @@ def build_disk_store(
         vals = np.array(tmp[f0:f1], dtype=np.uint64)
         if sort_in_pack:
             vals = _sort_rows(indptr, r0, r1, vals)
+        if candidates is not None:
+            local_iptr = indptr[r0 : r1 + 1] - f0
+            enc = encode_row_segment(
+                row_gaps(local_iptr, vals), local_iptr, candidates
+            )
+            column_segments.append(
+                _write_encoded_segment(
+                    directory,
+                    f"columns-{i:05d}.seg",
+                    enc,
+                    first_field=f0,
+                    num_fields=f1 - f0,
+                    first_row=r0,
+                    num_rows=r1 - r0,
+                )
+            )
+            continue
         if gap_encode:
             vals = _local_gaps(indptr, r0, r1, vals)
         column_segments.append(
@@ -342,7 +484,7 @@ def build_disk_store(
         num_edges=m,
         offset_width=offset_width,
         column_width=column_width,
-        gap_encoded=bool(gap_encode),
+        gap_encoded=bool(gap_encode) or candidates is not None,
         segment_bytes=int(segment_bytes),
         offsets=tuple(offset_segments),
         columns=tuple(column_segments),

@@ -33,6 +33,7 @@ from ..utils import ceil_div
 
 __all__ = [
     "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
     "MANIFEST_NAME",
     "PAGE_BYTES",
     "DEFAULT_SEGMENT_BYTES",
@@ -44,7 +45,12 @@ __all__ = [
     "segment_nbytes",
 ]
 
-FORMAT_VERSION = 1
+# Version 2 added per-segment codec tags (``codec``/``enc_width``/
+# ``starts_width``/``starts_nbytes``), the ``ordering`` name, and an
+# optional ``perm`` segment.  Version-1 manifests parse unchanged: every
+# new field defaults to the fixed-width behaviour v1 hard-coded.
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 MANIFEST_NAME = "manifest.json"
 
 # OS page granularity assumed by the page-touch cost accounting.
@@ -67,6 +73,13 @@ class Segment:
     straddle files); offset-column segments keep both at the field
     run's values for uniformity.  ``nbytes`` is the exact file length
     and ``crc32`` the checksum of its payload.
+
+    Format-v2 codec fields (defaults describe every v1 segment):
+    ``codec`` names the segment's edge codec; ``enc_width`` is its
+    codec-specific parameter (fixed width, or the zeta shard *k*);
+    variable-length codecs prepend a packed row-starts table of
+    ``starts_nbytes`` bytes whose entries are ``starts_width`` bits
+    wide, followed by the payload.
     """
 
     filename: str
@@ -76,6 +89,10 @@ class Segment:
     num_rows: int
     nbytes: int
     crc32: int
+    codec: str = "fixed"
+    enc_width: int = 0
+    starts_width: int = 0
+    starts_nbytes: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -91,6 +108,8 @@ class Manifest:
     segment_bytes: int
     offsets: tuple[Segment, ...]
     columns: tuple[Segment, ...]
+    ordering: str = "natural"
+    perm: Segment | None = None
 
     # ------------------------------------------------------------------
     def to_json(self) -> str:
@@ -104,6 +123,8 @@ class Manifest:
             "column_width": self.column_width,
             "gap_encoded": self.gap_encoded,
             "segment_bytes": self.segment_bytes,
+            "ordering": self.ordering,
+            "perm": asdict(self.perm) if self.perm is not None else None,
             "segments": {
                 "offsets": [asdict(s) for s in self.offsets],
                 "columns": [asdict(s) for s in self.columns],
@@ -121,13 +142,15 @@ class Manifest:
         if not isinstance(doc, dict) or doc.get("format") != "repro-disk-store":
             raise DiskFormatError(f"{source}: not a repro disk-store manifest")
         version = doc.get("version")
-        if version != FORMAT_VERSION:
+        if version not in SUPPORTED_VERSIONS:
+            supported = ", ".join(str(v) for v in SUPPORTED_VERSIONS)
             raise DiskFormatError(
                 f"{source}: unsupported format version {version!r} "
-                f"(this build reads version {FORMAT_VERSION})"
+                f"(this build reads versions {supported})"
             )
         try:
             segments = doc["segments"]
+            perm_doc = doc.get("perm")
             return cls(
                 version=int(version),
                 num_nodes=int(doc["num_nodes"]),
@@ -138,6 +161,8 @@ class Manifest:
                 segment_bytes=int(doc["segment_bytes"]),
                 offsets=tuple(Segment(**s) for s in segments["offsets"]),
                 columns=tuple(Segment(**s) for s in segments["columns"]),
+                ordering=str(doc.get("ordering", "natural")),
+                perm=Segment(**perm_doc) if perm_doc is not None else None,
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise DiskFormatError(f"{source}: malformed manifest: {exc}") from None
@@ -167,7 +192,8 @@ class Manifest:
         :class:`DiskFormatError` naming the first offending file.
         """
         directory = Path(directory)
-        for seg in (*self.offsets, *self.columns):
+        extra = (self.perm,) if self.perm is not None else ()
+        for seg in (*self.offsets, *self.columns, *extra):
             path = directory / seg.filename
             if not path.is_file():
                 raise DiskFormatError(f"{path}: segment file missing")

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..bitpack.bitarray import BitArray
 from ..bitpack.fixed import read_fields, unpack_fixed
+from ..bitpack.segcodec import decode_rows as _decode_codec_rows
 from ..csr.getrow import get_rows_from_csr, get_rows_gap_decoded
 from ..errors import QueryError
 from ..utils import human_bytes
@@ -75,6 +76,7 @@ class DiskStore:
         "offset_width",
         "column_width",
         "gap_encoded",
+        "ordering",
         "_off_first",
         "_col_first_row",
         "_col_first_field",
@@ -94,6 +96,7 @@ class DiskStore:
         self.offset_width = int(manifest.offset_width)
         self.column_width = int(manifest.column_width)
         self.gap_encoded = bool(manifest.gap_encoded)
+        self.ordering = str(manifest.ordering)
         self._off_first = np.asarray(
             [s.first_field for s in manifest.offsets], dtype=np.int64
         )
@@ -104,7 +107,8 @@ class DiskStore:
             [s.first_field for s in manifest.columns], dtype=np.int64
         )
         self._off_maps: list[BitArray | None] = [None] * len(manifest.offsets)
-        self._col_maps: list[BitArray | None] = [None] * len(manifest.columns)
+        # per column segment: (payload BitArray, starts BitArray | None)
+        self._col_maps: list[tuple | None] = [None] * len(manifest.columns)
         self._page_lo: list[np.ndarray] = []
         self._page_hi: list[np.ndarray] = []
         self._page_touches = 0
@@ -139,14 +143,34 @@ class DiskStore:
             self._off_maps[s] = ba
         return ba
 
-    def _column_bits(self, s: int) -> BitArray:
-        ba = self._col_maps[s]
-        if ba is None:
+    def _column_parts(self, s: int) -> tuple:
+        """Map column segment *s*: ``(payload, starts-or-None)`` bit arrays.
+
+        Fixed segments are one contiguous packed field stream.  Codec
+        segments (format v2) store their packed row-starts table in the
+        file's first ``starts_nbytes`` bytes and the variable-length
+        payload after it; both views share one mapping.
+        """
+        cached = self._col_maps[s]
+        if cached is None:
             seg = self.manifest.columns[s]
             mm = np.memmap(self.path / seg.filename, dtype=np.uint8, mode="r")
-            ba = BitArray(mm, seg.num_fields * self.column_width)
-            self._col_maps[s] = ba
-        return ba
+            if seg.codec == "fixed":
+                width = seg.enc_width or self.column_width
+                cached = (BitArray(mm, seg.num_fields * width), None)
+            else:
+                starts = BitArray(
+                    mm[: seg.starts_nbytes], (seg.num_rows + 1) * seg.starts_width
+                )
+                payload = BitArray(
+                    mm[seg.starts_nbytes :], (seg.nbytes - seg.starts_nbytes) * 8
+                )
+                cached = (payload, starts)
+            self._col_maps[s] = cached
+        return cached
+
+    def _column_bits(self, s: int) -> BitArray:
+        return self._column_parts(s)[0]
 
     def mapped_segments(self) -> int:
         """Segment files currently memory-mapped (observability)."""
@@ -164,20 +188,24 @@ class DiskStore:
         self.close()
 
     # -- page-touch metering --------------------------------------------
+    def _record_bit_windows(
+        self, file_id: int, bit_lo: np.ndarray, bit_hi: np.ndarray
+    ) -> None:
+        """Note page windows covering inclusive in-file bit ranges."""
+        active = bit_hi >= bit_lo
+        if not np.any(active):
+            return
+        base = np.int64(file_id) << _FILE_SHIFT
+        self._page_lo.append(base + (bit_lo[active] >> 3) // PAGE_BYTES)
+        self._page_hi.append(base + (bit_hi[active] >> 3) // PAGE_BYTES)
+
     def _record_pages(
         self, file_id: int, starts: np.ndarray, counts: np.ndarray, width: int
     ) -> None:
         """Note the page windows of field runs [starts, starts+counts)."""
-        active = counts > 0
-        if not np.any(active):
-            return
-        s = starts[active]
-        c = counts[active]
-        bit_lo = s * width
-        bit_hi = (s + c) * width - 1
-        base = np.int64(file_id) << _FILE_SHIFT
-        self._page_lo.append(base + (bit_lo >> 3) // PAGE_BYTES)
-        self._page_hi.append(base + (bit_hi >> 3) // PAGE_BYTES)
+        self._record_bit_windows(
+            file_id, starts * width, (starts + counts) * width - 1
+        )
 
     def _flush_pages(self) -> None:
         """Fold recorded windows into the counter as *distinct* pages."""
@@ -291,24 +319,53 @@ class DiskStore:
         for s in np.unique(seg):
             if s < 0:
                 continue  # empty rows decode nothing
+            spec = self.manifest.columns[int(s)]
             pos = np.flatnonzero(seg == s)
             local = starts[pos] - self._col_first_field[s]
-            bits = self._column_bits(int(s))
-            if self.gap_encoded:
-                flat_s, offs_s = get_rows_gap_decoded(
-                    bits, local, degrees[pos], self.column_width
-                )
+            file_id = len(self.manifest.offsets) + int(s)
+            payload, seg_starts = self._column_parts(int(s))
+            if spec.codec == "fixed":
+                width = spec.enc_width or self.column_width
+                if self.gap_encoded or spec.enc_width:
+                    flat_s, offs_s = get_rows_gap_decoded(
+                        payload, local, degrees[pos], width
+                    )
+                else:
+                    flat_s, offs_s = get_rows_from_csr(
+                        payload, local, degrees[pos], width
+                    )
+                self._record_pages(file_id, local, degrees[pos], width)
             else:
-                flat_s, offs_s = get_rows_from_csr(
-                    bits, local, degrees[pos], self.column_width
+                rows = uniq[pos] - spec.first_row
+                flat_s, offs_s = _decode_codec_rows(
+                    spec.codec,
+                    payload,
+                    spec.enc_width,
+                    seg_starts,
+                    spec.starts_width,
+                    rows,
+                    degrees[pos],
+                    local,
                 )
+                # meter the starts-table entries and the payload byte
+                # windows the decode actually read
+                self._record_pages(
+                    file_id, rows, np.full(rows.shape[0], 2, np.int64),
+                    spec.starts_width,
+                )
+                b0 = read_fields(seg_starts, spec.starts_width, rows).astype(np.int64)
+                b1 = read_fields(seg_starts, spec.starts_width, rows + 1).astype(np.int64)
+                pay_base = spec.starts_nbytes * 8
+                if spec.codec == "varint":
+                    lo_bits = pay_base + b0 * 8
+                    hi_bits = pay_base + b1 * 8 - 1
+                else:
+                    lo_bits = pay_base + b0
+                    hi_bits = pay_base + b1 - 1
+                self._record_bit_windows(file_id, lo_bits, hi_bits)
             flat_starts[pos] = base + offs_s[:-1]
             chunks.append(flat_s)
             base += flat_s.shape[0]
-            self._record_pages(
-                len(self.manifest.offsets) + int(s), local, degrees[pos],
-                self.column_width,
-            )
         self._flush_pages()
         src_flat = (
             chunks[0] if len(chunks) == 1 else
@@ -364,10 +421,33 @@ class DiskStore:
         )
 
     def bits_per_edge(self) -> float:
-        """Compressed bits spent per stored edge (on-disk payload)."""
+        """Compressed bits spent per stored edge (on-disk payload).
+
+        The optional permutation segment is excluded by the usual
+        ``.map``-file convention — it is id metadata, not edge payload.
+        """
         if self.num_edges == 0:
             return 0.0
         return 8.0 * self.disk_bytes() / self.num_edges
+
+    def codec_breakdown(self) -> dict:
+        """Per-codec aggregate over column segments: count, edges, bits."""
+        out: dict = {}
+        for seg in self.manifest.columns:
+            entry = out.setdefault(seg.codec, {"segments": 0, "edges": 0, "bits": 0})
+            entry["segments"] += 1
+            entry["edges"] += seg.num_fields
+            entry["bits"] += seg.nbytes * 8
+        return out
+
+    def load_perm(self) -> np.ndarray | None:
+        """The stored node permutation, or ``None`` for natural order."""
+        seg = self.manifest.perm
+        if seg is None:
+            return None
+        mm = np.memmap(self.path / seg.filename, dtype=np.uint8, mode="r")
+        bits = BitArray(mm, seg.num_fields * seg.enc_width)
+        return unpack_fixed(bits, seg.num_fields, seg.enc_width).astype(np.int64)
 
     # -- escape hatch ----------------------------------------------------
     def to_csr(self):
@@ -385,6 +465,16 @@ class DiskStore:
         indptr = (
             np.concatenate(parts) if parts else np.zeros(1, dtype=np.uint64)
         ).astype(np.int64)
+        uniform = all(
+            seg.codec == "fixed" and seg.enc_width == 0
+            for seg in self.manifest.columns
+        )
+        if not uniform:
+            # adaptive segments: decode through the codec dispatch
+            flat, _ = self.neighbors_batch(
+                np.arange(self.num_nodes, dtype=np.int64)
+            )
+            return CSRGraph(indptr, flat.astype(np.int64), None, validate=False)
         payload = [
             unpack_fixed(self._column_bits(s), seg.num_fields, self.column_width)
             for s, seg in enumerate(self.manifest.columns)

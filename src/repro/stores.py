@@ -166,6 +166,18 @@ def _build_disk(
     return store
 
 
+def _build_compact(sources, destinations, n, *, executor=None, **opts):
+    from .csr.compact import build_compact_csr
+
+    return build_compact_csr(sources, destinations, n, executor, **opts)
+
+
+def _build_reordered(sources, destinations, n, *, executor=None, **opts):
+    from .reorder.store import build_reordered_store
+
+    return build_reordered_store(sources, destinations, n, executor=executor, **opts)
+
+
 def _register_builtins() -> None:
     from .baselines import (
         AdjacencyListStore,
@@ -208,6 +220,12 @@ def _register_builtins() -> None:
          "bit-packed dense matrix (opts: node_cap)"),
         ("k2tree", _ignores_executor(K2Tree),
          "k^2-tree compressed adjacency"),
+        ("compact", _build_compact,
+         "bit-packed CSR with adaptive per-segment edge codecs "
+         "(opts: executor, sort, codecs, segment_bytes)"),
+        ("reordered", _build_reordered,
+         "id-translating wrapper over a relabeled inner store "
+         "(opts: order, inner, executor, + inner kind opts)"),
     ]
     for kind, builder, description in builtins:
         if kind not in _REGISTRY:

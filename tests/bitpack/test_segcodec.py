@@ -1,0 +1,169 @@
+"""Per-segment codec layer: selection rule, round-trips, error paths."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitpack.delta import row_gaps
+from repro.bitpack.segcodec import (
+    DEFAULT_CANDIDATES,
+    SEGMENT_CODECS,
+    decode_rows,
+    encode_row_segment,
+    resolve_codecs,
+)
+from repro.errors import CodecError, ValidationError
+
+
+def _segment(rng, *, num_rows, max_deg, max_id, empty_every=0):
+    """A sorted row segment: (values, local_indptr)."""
+    degs = rng.integers(0, max_deg + 1, num_rows)
+    if empty_every:
+        degs[::empty_every] = 0
+    indptr = np.zeros(num_rows + 1, dtype=np.int64)
+    np.cumsum(degs, out=indptr[1:])
+    vals = rng.integers(0, max_id + 1, int(indptr[-1])).astype(np.uint64)
+    for r in range(num_rows):
+        vals[indptr[r]:indptr[r + 1]].sort()
+    return vals, indptr
+
+
+def _roundtrip(enc, vals, indptr):
+    num_rows = indptr.shape[0] - 1
+    rows = np.arange(num_rows, dtype=np.int64)
+    degrees = np.diff(indptr)
+    flat, offsets = decode_rows(
+        enc.codec, enc.payload, enc.enc_width, enc.starts, enc.starts_width,
+        rows, degrees, indptr[:-1],
+    )
+    assert np.array_equal(offsets, indptr)
+    assert np.array_equal(flat, vals)
+
+
+class TestSelection:
+    def test_auto_is_default(self):
+        assert resolve_codecs(None) == DEFAULT_CANDIDATES
+        assert resolve_codecs("auto") == DEFAULT_CANDIDATES
+        assert resolve_codecs("varint") == ("varint",)
+        assert resolve_codecs("fixed,zeta2") == ("fixed", "zeta2")
+        assert resolve_codecs(["zeta3"]) == ("zeta3",)
+
+    def test_unknown_codec_one_line_error(self):
+        with pytest.raises(CodecError, match=r"unknown codec 'snappy' \(known: "):
+            resolve_codecs("snappy")
+        with pytest.raises(ValidationError):
+            resolve_codecs([])
+
+    def test_winner_is_smallest_total(self, rng):
+        vals, indptr = _segment(rng, num_rows=120, max_deg=30, max_id=100_000)
+        gaps = row_gaps(indptr, vals)
+        best = encode_row_segment(gaps, indptr, SEGMENT_CODECS)
+        sizes = {
+            name: encode_row_segment(gaps, indptr, [name]).total_bits
+            for name in SEGMENT_CODECS
+        }
+        assert best.total_bits == min(sizes.values())
+
+    def test_starts_table_counts_against_variable_codecs(self):
+        # one dense row of tiny gaps: fixed needs ~2 bits/field while
+        # varint pays 8 bits/field plus its table — fixed must win
+        vals = np.sort(np.arange(0, 600, 2, dtype=np.uint64))
+        indptr = np.array([0, vals.shape[0]], dtype=np.int64)
+        enc = encode_row_segment(row_gaps(indptr, vals), indptr)
+        assert enc.codec == "fixed"
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("codec", SEGMENT_CODECS)
+    def test_zipf_rows(self, rng, codec):
+        vals, indptr = _segment(rng, num_rows=80, max_deg=50, max_id=1 << 20)
+        enc = encode_row_segment(row_gaps(indptr, vals), indptr, [codec])
+        assert enc.codec == codec
+        _roundtrip(enc, vals, indptr)
+
+    @pytest.mark.parametrize("codec", SEGMENT_CODECS)
+    def test_empty_and_single_node_rows(self, rng, codec):
+        vals, indptr = _segment(
+            rng, num_rows=60, max_deg=3, max_id=9, empty_every=4
+        )
+        enc = encode_row_segment(row_gaps(indptr, vals), indptr, [codec])
+        _roundtrip(enc, vals, indptr)
+
+    @pytest.mark.parametrize("codec", SEGMENT_CODECS)
+    def test_all_rows_empty(self, codec):
+        indptr = np.zeros(12, dtype=np.int64)
+        vals = np.zeros(0, dtype=np.uint64)
+        enc = encode_row_segment(row_gaps(indptr, vals), indptr, [codec])
+        _roundtrip(enc, vals, indptr)
+
+    @pytest.mark.parametrize("codec", SEGMENT_CODECS)
+    def test_adversarial_gap_mixture(self, rng, codec):
+        # rows alternating huge first ids with runs of duplicates
+        # (zero gaps) and near-2^40 jumps
+        rows = [
+            np.array([], dtype=np.uint64),
+            np.array([0], dtype=np.uint64),
+            np.array([2**40], dtype=np.uint64),
+            np.array([7, 7, 7, 7, 7], dtype=np.uint64),
+            np.sort(rng.integers(0, 2**40, 33).astype(np.uint64)),
+            np.array([2**40 - 1, 2**40], dtype=np.uint64),
+        ]
+        vals = np.concatenate(rows).astype(np.uint64)
+        indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum([r.shape[0] for r in rows], out=indptr[1:])
+        enc = encode_row_segment(row_gaps(indptr, vals), indptr, [codec])
+        _roundtrip(enc, vals, indptr)
+
+    @pytest.mark.parametrize("codec", SEGMENT_CODECS)
+    def test_subset_of_rows_any_order(self, rng, codec):
+        vals, indptr = _segment(rng, num_rows=50, max_deg=12, max_id=5000)
+        enc = encode_row_segment(row_gaps(indptr, vals), indptr, [codec])
+        rows = rng.permutation(50)[:17].astype(np.int64)
+        degrees = np.diff(indptr)[rows]
+        flat, offsets = decode_rows(
+            enc.codec, enc.payload, enc.enc_width, enc.starts, enc.starts_width,
+            rows, degrees, indptr[:-1][rows],
+        )
+        for i, r in enumerate(rows):
+            assert np.array_equal(
+                flat[offsets[i]:offsets[i + 1]], vals[indptr[r]:indptr[r + 1]]
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.sampled_from(SEGMENT_CODECS),
+        st.lists(
+            st.lists(st.integers(0, 2**32), max_size=12), max_size=14
+        ),
+    )
+    def test_property(self, codec, row_lists):
+        rows = [np.sort(np.asarray(r, dtype=np.uint64)) for r in row_lists]
+        vals = (
+            np.concatenate(rows).astype(np.uint64)
+            if rows else np.zeros(0, dtype=np.uint64)
+        )
+        indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        if rows:
+            np.cumsum([r.shape[0] for r in rows], out=indptr[1:])
+        enc = encode_row_segment(row_gaps(indptr, vals), indptr, [codec])
+        _roundtrip(enc, vals, indptr)
+
+
+class TestValidation:
+    def test_indptr_must_cover_gaps(self):
+        with pytest.raises(ValidationError):
+            encode_row_segment(
+                np.array([1, 2, 3], dtype=np.uint64),
+                np.array([0, 2], dtype=np.int64),
+            )
+
+    def test_unknown_codec_in_decode(self):
+        from repro.bitpack.bitarray import BitArray
+
+        with pytest.raises(CodecError, match="unknown codec"):
+            decode_rows(
+                "snappy", BitArray(np.zeros(0, dtype=np.uint8), 0), 0, None, 0,
+                np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+            )

@@ -1,0 +1,156 @@
+"""CompactStore: adaptive-codec packed CSR, parity with BitPackedCSR."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitpack.segcodec import SEGMENT_CODECS
+from repro.csr.builder import build_csr_serial, ensure_sorted
+from repro.csr.compact import CompactStore, build_compact_csr
+from repro.csr.packed import build_bitpacked_csr
+from repro.errors import CodecError, QueryError
+
+CONFIGS = [
+    ("auto-1seg", None, 1 << 20),
+    ("auto-tiny-segs", None, 256),
+    ("all-codecs", SEGMENT_CODECS, 512),
+    ("varint-only", "varint", 1 << 20),
+]
+
+
+@pytest.fixture
+def packed_pair(sorted_edges):
+    src, dst, n = sorted_edges
+    return build_bitpacked_csr(src, dst, n, None), (src, dst, n)
+
+
+@pytest.mark.parametrize("name,codecs,seg_bytes", CONFIGS)
+class TestParity:
+    def test_rows_match_packed(self, packed_pair, name, codecs, seg_bytes):
+        packed, (src, dst, n) = packed_pair
+        store = build_compact_csr(
+            src, dst, n, codecs=codecs, segment_bytes=seg_bytes
+        )
+        assert store.num_nodes == packed.num_nodes
+        assert store.num_edges == packed.num_edges
+        for u in range(n):
+            assert store.degree(u) == packed.degree(u)
+            assert np.array_equal(store.neighbors(u), packed.neighbors(u))
+
+    def test_batch_matches_packed(self, rng, packed_pair, name, codecs, seg_bytes):
+        packed, (src, dst, n) = packed_pair
+        store = build_compact_csr(
+            src, dst, n, codecs=codecs, segment_bytes=seg_bytes
+        )
+        batch = rng.integers(0, n, 300)  # duplicates included
+        flat, offsets = store.neighbors_batch(batch)
+        pflat, poffsets = packed.neighbors_batch(batch)
+        assert np.array_equal(offsets, poffsets)
+        assert np.array_equal(flat, pflat)
+
+    def test_has_edge(self, rng, packed_pair, name, codecs, seg_bytes):
+        packed, (src, dst, n) = packed_pair
+        store = build_compact_csr(
+            src, dst, n, codecs=codecs, segment_bytes=seg_bytes
+        )
+        for u, v in zip(rng.integers(0, n, 80), rng.integers(0, n, 80)):
+            assert store.has_edge(int(u), int(v)) == packed.has_edge(int(u), int(v))
+
+    def test_to_csr_roundtrip(self, packed_pair, name, codecs, seg_bytes):
+        packed, (src, dst, n) = packed_pair
+        store = build_compact_csr(
+            src, dst, n, codecs=codecs, segment_bytes=seg_bytes
+        )
+        assert store.to_csr() == packed.to_csr()
+
+    def test_save_load(self, tmp_path, packed_pair, name, codecs, seg_bytes):
+        packed, (src, dst, n) = packed_pair
+        store = build_compact_csr(
+            src, dst, n, codecs=codecs, segment_bytes=seg_bytes
+        )
+        path = tmp_path / "compact.npz"
+        store.save(path)
+        loaded = CompactStore.load(path)
+        assert loaded.to_csr() == store.to_csr()
+        assert loaded.bits_per_edge() == store.bits_per_edge()
+        assert loaded.codec_breakdown() == store.codec_breakdown()
+
+
+class TestAccounting:
+    def test_beats_fixed_width_on_gappy_graph(self, rng):
+        # sparse ids over a wide space: varint gaps crush the fixed width
+        n, m = 4000, 20_000
+        src = np.repeat(np.arange(0, n, 4), m // (n // 4))
+        dst = rng.integers(0, n, src.shape[0])
+        src, dst = ensure_sorted(src, dst)
+        packed = build_bitpacked_csr(src, dst, n, None)
+        store = build_compact_csr(src, dst, n)
+        assert store.bits_per_edge() < packed.bits_per_edge()
+
+    def test_codec_breakdown_totals(self, sorted_edges):
+        src, dst, n = sorted_edges
+        store = build_compact_csr(src, dst, n, segment_bytes=512)
+        breakdown = store.codec_breakdown()
+        assert sum(r["edges"] for r in breakdown.values()) == store.num_edges
+        assert sum(r["segments"] for r in breakdown.values()) == len(store.segments)
+        assert set(breakdown) <= set(SEGMENT_CODECS)
+
+    def test_executor_parity(self, executor, sorted_edges):
+        src, dst, n = sorted_edges
+        serial = build_compact_csr(src, dst, n)
+        parallel = build_compact_csr(src, dst, n, executor)
+        assert serial.to_csr() == parallel.to_csr()
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        store = build_compact_csr(
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), 5
+        )
+        assert store.num_edges == 0
+        flat, offsets = store.neighbors_batch(np.arange(5))
+        assert flat.shape == (0,)
+        assert np.array_equal(offsets, np.zeros(6, dtype=np.int64))
+
+    def test_single_node_self_loop(self):
+        store = build_compact_csr(np.array([0]), np.array([0]), 1)
+        assert np.array_equal(store.neighbors(0), [0])
+        assert store.has_edge(0, 0)
+
+    def test_rows_with_empty_runs(self, rng):
+        # nodes 10..19 have no edges at all (empty row runs skip segments)
+        src = np.concatenate([np.repeat(np.arange(10), 5),
+                              np.repeat(np.arange(20, 30), 5)])
+        dst = rng.integers(0, 30, src.shape[0])
+        src, dst = ensure_sorted(src, dst)
+        store = build_compact_csr(src, dst, 30, segment_bytes=64)
+        graph = build_csr_serial(src, dst, 30)
+        for u in range(30):
+            assert np.array_equal(store.neighbors(u), graph.neighbors(u))
+
+    def test_node_out_of_range(self, sorted_edges):
+        src, dst, n = sorted_edges
+        store = build_compact_csr(src, dst, n)
+        with pytest.raises(QueryError):
+            store.neighbors(n)
+        with pytest.raises(QueryError):
+            store.neighbors_batch(np.array([0, n]))
+
+    def test_unknown_codec_rejected(self, sorted_edges):
+        src, dst, n = sorted_edges
+        with pytest.raises(CodecError, match="unknown codec"):
+            build_compact_csr(src, dst, n, codecs="gzip")
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=120))
+    def test_property_parity(self, edges):
+        n = 31
+        src = np.array([u for u, _ in edges], dtype=np.int64)
+        dst = np.array([v for _, v in edges], dtype=np.int64)
+        src, dst = ensure_sorted(src, dst)
+        store = build_compact_csr(src, dst, n, codecs=SEGMENT_CODECS,
+                                  segment_bytes=64)
+        graph = build_csr_serial(src, dst, n)
+        for u in range(n):
+            assert np.array_equal(store.neighbors(u), graph.neighbors(u))

@@ -1,0 +1,122 @@
+"""Ordering computations: valid permutations, structural properties."""
+
+import numpy as np
+import pytest
+
+from repro.csr.builder import build_csr_serial, ensure_sorted
+from repro.reorder import available_orderings, compute_ordering, slashburn_order
+from repro.errors import ValidationError
+
+
+def _graph(rng, n=120, m=900):
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    src, dst = ensure_sorted(src, dst)
+    return build_csr_serial(src, dst, n)
+
+
+def _is_permutation(perm, n):
+    perm = np.asarray(perm)
+    return perm.shape == (n,) and np.array_equal(np.sort(perm), np.arange(n))
+
+
+class TestEveryOrdering:
+    @pytest.mark.parametrize("name", sorted(["natural", "degree", "bfs", "slashburn"]))
+    def test_valid_permutation(self, rng, name):
+        graph = _graph(rng)
+        assert name in available_orderings()
+        perm = compute_ordering(name, graph)
+        assert _is_permutation(perm, graph.num_nodes)
+
+    @pytest.mark.parametrize("name", ["natural", "degree", "bfs", "slashburn"])
+    def test_empty_and_singleton_graphs(self, name):
+        empty = build_csr_serial(np.zeros(0, dtype=np.int64),
+                                 np.zeros(0, dtype=np.int64), 0)
+        assert compute_ordering(name, empty).shape == (0,)
+        one = build_csr_serial(np.array([0]), np.array([0]), 1)
+        assert _is_permutation(compute_ordering(name, one), 1)
+
+    @pytest.mark.parametrize("name", ["natural", "degree", "bfs", "slashburn"])
+    def test_deterministic(self, rng, name):
+        graph = _graph(rng)
+        assert np.array_equal(
+            compute_ordering(name, graph), compute_ordering(name, graph)
+        )
+
+    def test_unknown_name_one_line_error(self, rng):
+        graph = _graph(rng)
+        with pytest.raises(ValidationError, match=r"unknown ordering 'hilbert' \(known: "):
+            compute_ordering("hilbert", graph)
+
+
+class TestNatural:
+    def test_is_identity(self, rng):
+        graph = _graph(rng)
+        assert np.array_equal(
+            compute_ordering("natural", graph), np.arange(graph.num_nodes)
+        )
+
+
+class TestDegree:
+    def test_hubs_get_small_ids(self, rng):
+        graph = _graph(rng)
+        perm = compute_ordering("degree", graph)
+        src, dst = graph.edges()
+        total = graph.degrees() + np.bincount(dst, minlength=graph.num_nodes)
+        # new id 0 belongs to a max-total-degree node
+        node_at_zero = int(np.flatnonzero(perm == 0)[0])
+        assert total[node_at_zero] == total.max()
+
+
+class TestBfs:
+    def test_chain_is_contiguous(self):
+        # a path graph seeded at its hub end must number it 0..n-1ish
+        n = 30
+        src = np.arange(n - 1)
+        dst = np.arange(1, n)
+        src, dst = ensure_sorted(
+            np.concatenate([src, dst]), np.concatenate([dst, src])
+        )
+        graph = build_csr_serial(src, dst, n)
+        perm = compute_ordering("bfs", graph)
+        assert _is_permutation(perm, n)
+        # neighbours along the path differ by exactly 1 in the new order
+        diffs = np.abs(np.diff(perm))
+        assert diffs.max() <= 2
+
+
+class TestSlashburn:
+    def test_hubs_front_spokes_back(self):
+        # star + isolated triangle: the star centre is the top hub and
+        # takes id 0; its leaves become singleton spokes once the centre
+        # is peeled, so they are laid out at the back (high ids)
+        star_src = np.zeros(8, dtype=np.int64)
+        star_dst = np.arange(1, 9)
+        tri = np.array([[9, 10], [10, 11], [11, 9]])
+        src = np.concatenate([star_src, tri[:, 0]])
+        dst = np.concatenate([star_dst, tri[:, 1]])
+        src, dst = ensure_sorted(src, dst)
+        graph = build_csr_serial(src, dst, 12)
+        perm = slashburn_order(graph, hub_fraction=0.1)
+        assert _is_permutation(perm, 12)
+        assert perm[0] == 0  # the star centre is the first hub peeled
+        assert perm[1:9].min() >= 4  # every leaf lands in the back range
+
+    def test_parameter_validation(self, rng):
+        graph = _graph(rng)
+        with pytest.raises(ValidationError):
+            slashburn_order(graph, hub_fraction=0.0)
+        with pytest.raises(ValidationError):
+            slashburn_order(graph, max_rounds=0)
+
+    def test_dense_and_disconnected(self, rng):
+        # many small components, no giant: still a valid permutation
+        blocks = []
+        for b in range(10):
+            base = b * 5
+            blocks.append((base + np.array([0, 1, 2, 3]), base + np.array([1, 2, 3, 4])))
+        src = np.concatenate([s for s, _ in blocks])
+        dst = np.concatenate([d for _, d in blocks])
+        src, dst = ensure_sorted(src, dst)
+        graph = build_csr_serial(src, dst, 50)
+        assert _is_permutation(slashburn_order(graph), 50)

@@ -1,0 +1,140 @@
+"""ReorderedStore: bit-exact round-trips in the original id space."""
+
+import numpy as np
+import pytest
+
+from repro.csr.builder import build_csr_serial, ensure_sorted
+from repro.reorder import ReorderedStore, build_reordered_store
+from repro.errors import QueryError, ValidationError
+from repro.stores import open_store
+
+ORDERINGS = ["natural", "degree", "bfs", "slashburn"]
+
+# every registered kind that can serve as a reordered inner, including
+# the nested sharded and disk stores
+INNER_KINDS = [
+    ("packed", {}),
+    ("gap", {}),
+    ("compact", {"segment_bytes": 2048}),
+    ("csr", {}),
+    ("adjlist", {}),
+    ("sharded", {"shards": 3, "partitioner": "hash"}),
+    ("disk", {"segment_bytes": 2048}),
+]
+
+
+@pytest.fixture
+def edges(rng):
+    n, m = 150, 1800
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    src, dst = ensure_sorted(src, dst)
+    return src, dst, n
+
+
+def _reference(src, dst, n):
+    return build_csr_serial(src, dst, n)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("order", ORDERINGS)
+    @pytest.mark.parametrize("kind,opts", INNER_KINDS,
+                             ids=[k for k, _ in INNER_KINDS])
+    def test_bit_exact_vs_unreordered(self, rng, edges, order, kind, opts):
+        src, dst, n = edges
+        ref = _reference(src, dst, n)
+        store = build_reordered_store(
+            src, dst, n, order=order, inner=kind, **opts
+        )
+        assert isinstance(store, ReorderedStore)
+        assert store.num_nodes == n and store.num_edges == src.shape[0]
+        for u in range(n):
+            assert store.degree(u) == ref.degree(u)
+            assert np.array_equal(
+                np.asarray(store.neighbors(u), dtype=np.int64),
+                ref.neighbors(u),
+            )
+        batch = rng.integers(0, n, 120)
+        flat, offsets = store.neighbors_batch(batch)
+        rflat, roffsets = ref.neighbors_batch(batch)
+        assert np.array_equal(offsets, roffsets)
+        assert np.array_equal(np.asarray(flat, dtype=np.int64), rflat)
+        for u, v in zip(rng.integers(0, n, 60), rng.integers(0, n, 60)):
+            assert store.has_edge(int(u), int(v)) == ref.has_edge(int(u), int(v))
+
+    @pytest.mark.parametrize("order", ORDERINGS)
+    def test_to_csr_is_original_graph(self, edges, order):
+        src, dst, n = edges
+        store = build_reordered_store(src, dst, n, order=order, inner="packed")
+        assert store.to_csr() == _reference(src, dst, n)
+
+
+class TestSaveLoad:
+    @pytest.mark.parametrize("inner", ["packed", "compact"])
+    def test_roundtrip(self, tmp_path, edges, inner):
+        src, dst, n = edges
+        store = build_reordered_store(src, dst, n, order="degree", inner=inner)
+        path = tmp_path / "reordered.npz"
+        store.save(path)
+        loaded = ReorderedStore.load(path)
+        assert loaded.ordering == "degree"
+        assert np.array_equal(loaded.perm, store.perm)
+        assert loaded.to_csr() == store.to_csr()
+        assert loaded.bits_per_edge() == store.bits_per_edge()
+
+    def test_unsupported_inner_refused(self, edges, tmp_path):
+        src, dst, n = edges
+        store = build_reordered_store(src, dst, n, order="degree", inner="adjlist")
+        with pytest.raises(ValidationError, match="packed or compact"):
+            store.save(tmp_path / "bad.npz")
+
+
+class TestValidation:
+    def test_perm_must_be_permutation(self, edges):
+        src, dst, n = edges
+        inner = open_store("packed", src, dst, n, sort=True)
+        with pytest.raises(ValidationError):
+            ReorderedStore(inner, np.zeros(n, dtype=np.int64))
+        with pytest.raises(ValidationError):
+            ReorderedStore(inner, np.arange(n - 1))
+
+    def test_no_direct_nesting(self, edges):
+        src, dst, n = edges
+        with pytest.raises(ValidationError, match="nest"):
+            build_reordered_store(src, dst, n, inner="reordered")
+
+    def test_unknown_ordering_propagates(self, edges):
+        src, dst, n = edges
+        with pytest.raises(ValidationError, match="unknown ordering"):
+            build_reordered_store(src, dst, n, order="zorp")
+
+    def test_node_out_of_range(self, edges):
+        src, dst, n = edges
+        store = build_reordered_store(src, dst, n)
+        with pytest.raises(QueryError):
+            store.neighbors(n)
+        with pytest.raises(QueryError):
+            store.neighbors_batch(np.array([-1]))
+
+
+class TestAccounting:
+    def test_memory_counts_id_tables(self, edges):
+        src, dst, n = edges
+        store = build_reordered_store(src, dst, n, inner="packed")
+        assert store.memory_bytes() >= (
+            store.inner.memory_bytes() + 2 * 8 * n
+        )
+
+    def test_bits_per_edge_is_inner_only(self, edges):
+        src, dst, n = edges
+        store = build_reordered_store(src, dst, n, inner="packed")
+        assert store.bits_per_edge() == store.inner.bits_per_edge()
+
+    def test_capability_forwarding(self, edges):
+        src, dst, n = edges
+        gap = build_reordered_store(src, dst, n, inner="gap")
+        assert gap.gap_encoded is True
+        plain = build_reordered_store(src, dst, n, inner="packed")
+        assert plain.gap_encoded is False
+        with pytest.raises(AttributeError):
+            build_reordered_store(src, dst, n, inner="adjlist").gap_encoded

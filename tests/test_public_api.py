@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.query",
     "repro.baselines",
     "repro.disk",
+    "repro.reorder",
     "repro.pcsr",
     "repro.datasets",
     "repro.analysis",

@@ -39,7 +39,8 @@ class TestRegistry:
         kinds = available_stores()
         for kind in ("csr", "csr-serial", "packed", "gap", "disk", "sharded",
                      "adjlist", "edgelist", "edgelist-unsorted",
-                     "adjmatrix", "bitmatrix", "k2tree"):
+                     "adjmatrix", "bitmatrix", "k2tree", "compact",
+                     "reordered"):
             assert kind in kinds
 
     def test_unknown_kind_lists_known(self):
@@ -98,7 +99,8 @@ class TestProtocolConformance:
         # module-scope fixture can't parametrise itself; keep in sync
         # via the assertion inside test_builtin_kinds_present
         ["csr", "csr-serial", "packed", "gap", "disk", "sharded", "adjlist",
-         "edgelist", "edgelist-unsorted", "adjmatrix", "bitmatrix", "k2tree"]
+         "edgelist", "edgelist-unsorted", "adjmatrix", "bitmatrix", "k2tree",
+         "compact", "reordered"]
     ))
     def test_kind(self, built, edges, kind):
         src, dst, n = edges
@@ -132,5 +134,5 @@ class TestProtocolConformance:
         assert sorted(built) == sorted(
             ["csr", "csr-serial", "packed", "gap", "disk", "sharded", "adjlist",
              "edgelist", "edgelist-unsorted", "adjmatrix", "bitmatrix",
-             "k2tree"]
+             "k2tree", "compact", "reordered"]
         ), "new registered kinds must be added to TestProtocolConformance"
