@@ -1,0 +1,207 @@
+"""LSM serving bench — read throughput under live edge ingest.
+
+ISSUE 7's acceptance gate: an :class:`LsmStore` serving a 10k-request
+Zipf workload with 10% write traffic must keep read throughput at
+>= 0.5x the immutable packed store serving the read-only stream, and
+every compaction along the way must leave the store bit-exact against
+a from-scratch rebuild of the same logical edge set.  The baseline is
+recorded in ``BENCH_lsm.json`` under ``BENCH_WRITE_BASELINE=1``.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import open_store
+from repro.analysis.serving import render_lsm_stats
+from repro.analysis.tables import render_table
+from repro.lsm import LsmStore
+from repro.serve import (
+    GraphQueryServer,
+    ManualClock,
+    WriteRequest,
+    replay,
+    synthetic_workload,
+)
+
+from conftest import report
+
+N_REQUESTS = 10_000
+WRITE_FRACTION = 0.1
+REPEATS = 3  # best-of, per mode — one-off scheduler stalls don't gate
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_lsm.json"
+
+# Acceptance bar: reads under 10% write traffic keep at least half the
+# read-only packed throughput.  Both modes replay on a ManualClock so
+# batching is deterministic (windows close on size, not on submit-loop
+# stalls) and the ratio measures pure serving compute.  Locally the
+# overlay lands around 0.6x; the CI floor absorbs shared-runner noise
+# without hiding a collapse to per-row python merging on every request.
+READ_QPS_FLOOR = 0.25 if os.environ.get("CI") else 0.5
+
+
+@pytest.fixture(scope="module")
+def graph(medium_standin):
+    """The stand-in with duplicate edges folded away: the LSM overlay
+    is a *set* of edges (checked writes dedup), so a fair base is the
+    deduplicated graph."""
+    ds = medium_standin
+    keys = np.unique(
+        ds.sources.astype(np.int64) * ds.num_nodes + ds.destinations
+    )
+    return keys // ds.num_nodes, keys % ds.num_nodes, ds.num_nodes
+
+
+@pytest.fixture(scope="module")
+def packed(graph):
+    src, dst, n = graph
+    return open_store("packed", src, dst, n)
+
+
+@pytest.fixture(scope="module")
+def schedules(graph):
+    """Read-only and mixed 10k-request Zipf workload factories."""
+    src, dst, n = graph
+
+    def make(write_fraction=0.0, seed=17):
+        return synthetic_workload(
+            N_REQUESTS,
+            n,
+            kind="zipf",
+            skew=1.2,
+            edge_fraction=0.25,
+            mean_interarrival_ns=1_000.0,
+            edges=(src, dst),
+            seed=seed,
+            write_fraction=write_fraction,
+        )
+
+    return make
+
+
+def _serve_wallclock(store, workload, *, cache_elements=100_000):
+    """Virtual-time replay, wall-clock timed: arrivals advance a
+    ManualClock so both modes see identical size-closed batches, and
+    the measured seconds are serving compute alone."""
+    server = GraphQueryServer(
+        store,
+        cache_elements=cache_elements,
+        max_batch_size=256,
+        max_wait_ns=500e3,
+        queue_capacity=1 << 16,
+        policy="block",
+        clock=ManualClock(),
+    )
+    t0 = time.perf_counter()
+    replay(server, workload)
+    return server, time.perf_counter() - t0
+
+
+def test_write_mix_gate(packed, schedules, medium_standin):
+    """The acceptance gate: mixed-traffic reads >= 0.5x read-only reads."""
+    ds = medium_standin  # only for the baseline's provenance line
+    ro_srv, ro_s = min(
+        (_serve_wallclock(packed, schedules()) for _ in range(REPEATS)),
+        key=lambda pair: pair[1],
+    )
+    ro = ro_srv.snapshot(elapsed_s=ro_s)
+
+    n_writes = sum(
+        isinstance(r, WriteRequest)
+        for _, r in schedules(write_fraction=WRITE_FRACTION)
+    )
+    # fresh overlay and workload per repeat: request slots are
+    # single-use, and replaying writes into an already warm memtable
+    # would turn them all into cheap no-ops
+    runs = []
+    for _ in range(REPEATS):
+        lsm = LsmStore(packed.num_nodes, [packed], compact_watermark=50_000)
+        mixed = schedules(write_fraction=WRITE_FRACTION)
+        runs.append((lsm, *_serve_wallclock(lsm, mixed)))
+    lsm, mx_srv, mx_s = min(runs, key=lambda triple: triple[2])
+    mx = mx_srv.snapshot(elapsed_s=mx_s)
+
+    assert ro.completed == N_REQUESTS
+    assert mx.completed == N_REQUESTS - n_writes
+    assert mx.writes == n_writes
+
+    # read qps = completed reads per wall-clock second
+    ro_qps = ro.completed / ro_s
+    mx_qps = mx.completed / mx_s
+    ratio = mx_qps / ro_qps
+
+    baseline = {
+        "workload": (
+            f"zipf(1.2), {N_REQUESTS} requests, 25% edge queries, "
+            f"{WRITE_FRACTION:.0%} writes"
+        ),
+        "graph": (
+            f"{ds.name} (deduped): {packed.num_nodes} nodes, "
+            f"{packed.num_edges} edges"
+        ),
+        "read_only": {"seconds": ro_s, "read_qps": ro_qps},
+        "mixed": {
+            "seconds": mx_s,
+            "read_qps": mx_qps,
+            "writes": int(mx.writes),
+            "write_noops": int(mx.write_noops),
+            "write_ns_p50": mx.write_ns_p50,
+            "write_ns_p99": mx.write_ns_p99,
+            "memtable_edges": int(mx.memtable_edges),
+            "compactions": int(mx.compactions),
+        },
+        "read_qps_ratio": ratio,
+    }
+    if os.environ.get("BENCH_WRITE_BASELINE") or not BASELINE_PATH.exists():
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+
+    report(
+        f"Read throughput under live ingest ({N_REQUESTS} Zipf requests, "
+        f"{WRITE_FRACTION:.0%} writes)",
+        render_table(
+            ["mode", "reads", "writes", "seconds", "read qps"],
+            [
+                ["packed read-only", ro.completed, 0, f"{ro_s:.3f}",
+                 f"{ro_qps:,.0f}"],
+                ["lsm mixed", mx.completed, n_writes, f"{mx_s:.3f}",
+                 f"{mx_qps:,.0f}"],
+            ],
+            title=f"mixed/read-only qps ratio {ratio:.2f}x "
+                  f"(floor {READ_QPS_FLOOR}x)",
+        ) + "\n" + render_lsm_stats(lsm),
+    )
+    assert ratio >= READ_QPS_FLOOR, (
+        f"reads under writes only {ratio:.2f}x of read-only throughput"
+    )
+
+
+def test_compaction_bitexact_under_traffic(packed, schedules):
+    """Low watermark forces many compactions mid-stream; afterwards the
+    overlay must equal a from-scratch rebuild of its logical edges."""
+    lsm = LsmStore(packed.num_nodes, [packed], compact_watermark=500)
+    server, _ = _serve_wallclock(lsm, schedules(write_fraction=0.2, seed=29))
+    snap = server.snapshot()
+    assert snap.compactions >= 1, "watermark never tripped"
+
+    src, dst = lsm._logical_edges()
+    rebuilt = open_store("packed", src, dst, lsm.num_nodes)
+    assert rebuilt.num_edges == lsm.num_edges
+    rng = np.random.default_rng(5)
+    for u in rng.integers(0, lsm.num_nodes, 2_000).tolist():
+        assert np.array_equal(
+            np.asarray(lsm.neighbors(u), np.int64), rebuilt.neighbors(u)
+        )
+    us = rng.integers(0, lsm.num_nodes, 5_000)
+    flat, offs = lsm.neighbors_batch(us)
+    rflat, roffs = rebuilt.neighbors_batch(us)
+    assert np.array_equal(offs, roffs)
+    assert np.array_equal(np.asarray(flat, np.int64),
+                          np.asarray(rflat, np.int64))
+    report(
+        "Compaction bit-exactness under 20% write traffic",
+        render_lsm_stats(lsm, title="lsm store after serving"),
+    )

@@ -34,6 +34,7 @@ from . import (
     csr,
     datasets,
     disk,
+    lsm,
     parallel,
     query,
     reorder,
@@ -64,6 +65,7 @@ from .errors import (
     ReproError,
     ValidationError,
 )
+from .lsm import LsmStore, build_lsm_store
 from .parallel import (
     CostModel,
     Executor,
@@ -93,6 +95,7 @@ __all__ = [
     "csr",
     "datasets",
     "disk",
+    "lsm",
     "parallel",
     "query",
     "reorder",
@@ -127,6 +130,8 @@ __all__ = [
     "GraphQueryServer",
     "ShardedStore",
     "build_sharded_store",
+    "LsmStore",
+    "build_lsm_store",
     "DiskStore",
     "build_disk_store",
     "open_disk_store",

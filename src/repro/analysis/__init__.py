@@ -37,6 +37,7 @@ from .speedup import (
     speedup_ratio,
 )
 from .serving import (
+    render_lsm_stats,
     render_serve_histograms,
     render_serve_metrics,
     render_serve_report,
@@ -84,6 +85,7 @@ __all__ = [
     "sparkline",
     "build_report",
     "write_report",
+    "render_lsm_stats",
     "render_serve_histograms",
     "render_serve_metrics",
     "render_serve_report",

@@ -13,7 +13,12 @@ from __future__ import annotations
 from .tables import render_table
 from .tracing import render_cache_stats
 
-__all__ = ["render_serve_metrics", "render_serve_histograms", "render_serve_report"]
+__all__ = [
+    "render_serve_metrics",
+    "render_serve_histograms",
+    "render_serve_report",
+    "render_lsm_stats",
+]
 
 
 def _us(ns: float) -> str:
@@ -41,6 +46,16 @@ def render_serve_metrics(snap, *, title: str = "serve metrics") -> str:
          f"{_us(snap.latency_ns_p99)}"],
         ["kernel service time (ms)", f"{snap.service_ns_total / 1e6:.2f}"],
     ]
+    if snap.writes:
+        rows += [
+            ["writes applied", snap.writes - snap.write_noops],
+            ["write no-ops", snap.write_noops],
+            ["write p50/p95/p99 (us)",
+             f"{_us(snap.write_ns_p50)} / {_us(snap.write_ns_p95)} / "
+             f"{_us(snap.write_ns_p99)}"],
+            ["memtable edges", snap.memtable_edges],
+            ["compactions", snap.compactions],
+        ]
     if snap.throughput_rps is not None:
         rows.append(["throughput (req/s)", f"{snap.throughput_rps:,.0f}"])
     return render_table(["counter", "value"], rows, title=title)
@@ -56,6 +71,29 @@ def render_serve_histograms(snap, *, title: str = "serve histograms") -> str:
     if not rows:
         rows.append(["-", "-", 0])
     return render_table(["histogram", "bucket", "count"], rows, title=title)
+
+
+def render_lsm_stats(store, *, title: str = "lsm store") -> str:
+    """Structure and write counters of an :class:`~repro.lsm.LsmStore`.
+
+    Accepts anything exposing ``stats()`` returning an
+    :class:`~repro.lsm.LsmStats`-shaped snapshot, so the CLI's ``info``
+    and ``query --writes`` surfaces share one table.
+    """
+    stats = store.stats()
+    rows = [
+        ["segments", stats.segments],
+        ["memtable edges", stats.memtable_edges],
+        ["tombstones", stats.tombstones],
+        ["logical edges", stats.logical_edges],
+        ["inserts applied", stats.inserts],
+        ["deletes applied", stats.deletes],
+        ["write no-ops", stats.write_noops],
+        ["compactions", stats.compactions],
+        ["flushes", stats.flushes],
+        ["compact watermark", stats.compact_watermark or "off"],
+    ]
+    return render_table(["counter", "value"], rows, title=title)
 
 
 def render_serve_report(snap, cache=None, *, title: str = "serving report") -> str:

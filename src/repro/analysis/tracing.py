@@ -94,6 +94,7 @@ def render_cache_stats(cache, *, title: str = "row cache") -> str:
         ["misses", stats.misses],
         ["hit rate", f"{stats.hit_rate * 100:.1f}%"],
         ["evictions", stats.evictions],
+        ["invalidations", getattr(stats, "invalidations", 0)],
         ["resident rows", stats.rows],
         ["resident elements", stats.elements],
         ["capacity (elements)", stats.capacity],

@@ -42,6 +42,7 @@ from .csr.packed import BitPackedCSR
 from .datasets import ba_edges, er_edges, rmat_edges, standin
 from .disk import DiskStore
 from .errors import ReproError
+from .lsm import LsmStore
 from .parallel import SerialExecutor, SimulatedMachine
 from .reorder import ReorderedStore, available_orderings
 from .shard import PARTITIONER_KINDS, ShardedStore
@@ -150,6 +151,18 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--cache-elements", type=int, default=0,
                        help="wrap the store in an LRU row cache of this many "
                        "decoded elements and print its stats after the batch")
+    query.add_argument("--writes", type=int, default=0,
+                       help="apply this many seeded random edge writes through "
+                       "a log-structured (lsm) overlay before querying, and "
+                       "print the lsm stats")
+    query.add_argument("--write-seed", type=int, default=2023,
+                       help="seed for the random write stream")
+    query.add_argument("--compact-watermark", type=int, default=0,
+                       help="memtable entries that trigger auto-compaction "
+                       "during the write stream (0 = off)")
+    query.add_argument("--save", default=None,
+                       help="persist the post-write lsm store to this .npz "
+                       "(packed segments only)")
     _add_shard_flags(query)
     qsub = query.add_subparsers(dest="query_kind", required=True)
     qn = qsub.add_parser("neighbors", help="list a node's neighbours")
@@ -188,6 +201,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--edge-fraction", type=float, default=0.25)
     serve.add_argument("--cache-elements", type=int, default=0,
                        help="row-cache capacity on the serve path (0 = off)")
+    serve.add_argument("--write-fraction", type=float, default=0.0,
+                       help="share of requests that are edge writes; routes "
+                       "the run through a log-structured (lsm) overlay")
+    serve.add_argument("--compact-watermark", type=int, default=0,
+                       help="lsm memtable entries that trigger compaction "
+                       "mid-serve (0 = off; needs --write-fraction)")
     serve.add_argument("--seed", type=int, default=2023)
     _add_shard_flags(serve)
 
@@ -340,6 +359,7 @@ _NPZ_LOADERS = {
     "sharded": ShardedStore.load,
     "compact": CompactStore.load,
     "reordered": ReorderedStore.load,
+    "lsm": LsmStore.load,
 }
 
 
@@ -448,6 +468,21 @@ def _cmd_info(args) -> int:
         for s, shard in enumerate(packed.shards):
             print(f"  shard {s:<2}       : {shard}")
         return 0
+    if isinstance(packed, LsmStore):
+        stats = packed.stats()
+        print(packed)
+        print(f"  nodes          : {packed.num_nodes:,}")
+        print(f"  logical edges  : {packed.num_edges:,}")
+        print(f"  memtable       : {stats.memtable_edges:,} entries "
+              f"({stats.tombstones:,} tombstones)")
+        print(f"  inner kind     : {packed.inner}")
+        print(f"  watermark      : {stats.compact_watermark or 'off'}")
+        print(f"  compactions    : {stats.compactions} "
+              f"(+{stats.flushes} flushes)")
+        print(f"  payload        : {human_bytes(packed.memory_bytes())}")
+        for s, seg in enumerate(packed.segments):
+            print(f"  segment {s:<2}     : {seg}")
+        return 0
     print(packed)
     print(f"  nodes          : {packed.num_nodes:,}")
     print(f"  edges          : {packed.num_edges:,}")
@@ -505,10 +540,37 @@ def _cmd_compact(args) -> int:
 
 
 def _cmd_query(args) -> int:
+    from .analysis.serving import render_lsm_stats
     from .analysis.tracing import render_cache_stats
     from .query import RowCache
 
     store = _reshard(_load(args.input), args)
+    lsm = store if isinstance(store, LsmStore) else None
+    if args.writes > 0 or args.save:
+        if lsm is None:
+            # any loaded store becomes the immutable base segment of a
+            # fresh overlay; the write stream lands in its memtable
+            lsm = LsmStore(
+                store.num_nodes, [store],
+                compact_watermark=args.compact_watermark,
+            )
+        else:
+            lsm.compact_watermark = int(args.compact_watermark)
+        store = lsm
+    if args.writes > 0:
+        from .lsm import apply_random_writes
+
+        applied = apply_random_writes(lsm, args.writes, seed=args.write_seed)
+        print(f"writes: {applied['inserts']} inserts, "
+              f"{applied['deletes']} deletes, {applied['noops']} no-ops, "
+              f"{applied['compactions']} compactions")
+    if args.save:
+        if lsm.segments and not all(
+            isinstance(s, BitPackedCSR) for s in lsm.segments
+        ):
+            lsm.compact()  # fold to one freshly packed segment first
+        lsm.save(args.save)
+        print(f"saved lsm store to {args.save}")
     if args.cache_elements > 0:
         store = RowCache(store, capacity=args.cache_elements)
     rc = 0
@@ -522,6 +584,8 @@ def _cmd_query(args) -> int:
         rc = 0 if present else 3
     if isinstance(store, RowCache):
         print(render_cache_stats(store))
+    if lsm is not None:
+        print(render_lsm_stats(lsm))
     return rc
 
 
@@ -598,13 +662,31 @@ def _cmd_serve_bench(args) -> int:
             mean_interarrival_ns=0.0,
             edges=src_edges,
             seed=args.seed,
+            write_fraction=args.write_fraction,
+        )
+
+    def fresh_store():
+        # mixed traffic mutates the store, so each run gets its own
+        # lsm overlay over the shared immutable base — both modes see
+        # an identical starting state
+        if args.write_fraction <= 0:
+            return store
+        if isinstance(store, LsmStore):
+            raise ReproError(
+                "--write-fraction overlays the store itself; pass the "
+                "immutable base store, not an lsm file"
+            )
+        return LsmStore(
+            store.num_nodes, [store],
+            compact_watermark=args.compact_watermark,
         )
 
     single_srv, single_s = _run_serve(
-        store, fresh_workload(), args, batch=1, wait_us=0.0
+        fresh_store(), fresh_workload(), args, batch=1, wait_us=0.0
     )
     coal_srv, coal_s = _run_serve(
-        store, fresh_workload(), args, batch=args.batch, wait_us=args.wait_us
+        fresh_store(), fresh_workload(), args, batch=args.batch,
+        wait_us=args.wait_us
     )
     single = single_srv.snapshot(elapsed_s=single_s)
     coal = coal_srv.snapshot(elapsed_s=coal_s)

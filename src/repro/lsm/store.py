@@ -1,0 +1,582 @@
+"""The log-structured store: memtable delta over immutable segments.
+
+Reads merge three layers, newest first: the
+:class:`~repro.lsm.memtable.DeltaMemtable` (inserted edges win,
+tombstones suppress), then every immutable base segment (any
+registered store kind).  A clean row — no resident delta — is served
+straight off the segments, so under read-mostly traffic the LSM costs
+one dict probe over the immutable store it wraps.
+
+:meth:`compact` folds memtable + segments into one fresh segment by
+feeding the *logical* edge set back through
+:func:`repro.open_store` — i.e. the paper's Alg. 1 chunked prefix-sum
+pipeline for CSR-family inners — then atomically swaps the segment
+list and clears the memtable.  Because the logical edge set fully
+determines the rebuilt segment, compaction is bit-exact with a
+from-scratch build (property-tested in ``tests/lsm``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import QueryError, ValidationError
+from ..query.stores import neighbors_batch as _store_batch
+from ..utils import human_bytes, require
+from .memtable import DeltaMemtable
+
+__all__ = ["LsmStore", "LsmStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class LsmStats:
+    """Snapshot of an :class:`LsmStore`'s structure and write counters."""
+
+    segments: int
+    memtable_edges: int
+    tombstones: int
+    logical_edges: int
+    inserts: int
+    deletes: int
+    write_noops: int
+    compactions: int
+    flushes: int
+    compact_watermark: int
+
+
+class LsmStore:
+    """A mutable graph store satisfying the ``GraphStore`` protocol.
+
+    The store models a *set* of directed edges: checked writes dedup
+    (inserting a present edge is a no-op), so base segments are
+    expected to hold distinct edges — :func:`build_lsm_store` dedups
+    its input, but when wrapping a pre-built multigraph segment the
+    duplicate copies make ``num_edges`` bookkeeping and per-row merge
+    results diverge from multigraph row lengths.
+
+    Parameters
+    ----------
+    num_nodes:
+        Global node-space size (every segment must span it).
+    segments:
+        Immutable base stores, oldest first; may be empty — an LSM
+        over nothing but its memtable is a valid (small) graph.
+    inner:
+        Registered store kind :meth:`compact` rebuilds segments as.
+    inner_opts:
+        Extra options for the inner builder (e.g. ``gap_encode=True``).
+    compact_watermark:
+        When positive, :meth:`maybe_compact` fires once the memtable
+        holds this many entries; ``0`` disables auto-compaction.
+    executor:
+        Default executor for compaction rebuilds.
+    """
+
+    __slots__ = (
+        "num_nodes",
+        "segments",
+        "memtable",
+        "inner",
+        "inner_opts",
+        "compact_watermark",
+        "executor",
+        "inserts",
+        "deletes",
+        "write_noops",
+        "compactions",
+        "flushes",
+        "_num_edges",
+        "_merged_cache",
+        "_base_cache",
+    )
+
+    def __init__(
+        self,
+        num_nodes: int,
+        segments,
+        *,
+        inner: str = "packed",
+        inner_opts: dict | None = None,
+        compact_watermark: int = 0,
+        executor=None,
+        memtable: DeltaMemtable | None = None,
+        num_edges: int | None = None,
+    ):
+        require(num_nodes >= 0, "node count must be non-negative")
+        require(compact_watermark >= 0, "compact watermark must be >= 0")
+        segments = list(segments)
+        for i, seg in enumerate(segments):
+            if int(seg.num_nodes) != int(num_nodes):
+                raise ValidationError(
+                    f"segment {i} spans {seg.num_nodes} nodes, expected "
+                    f"{num_nodes} (segments must cover the global node space)"
+                )
+        self.num_nodes = int(num_nodes)
+        self.segments = segments
+        self.memtable = memtable if memtable is not None else DeltaMemtable()
+        self.inner = str(inner)
+        self.inner_opts = dict(inner_opts or {})
+        self.compact_watermark = int(compact_watermark)
+        self.executor = executor
+        self.inserts = 0
+        self.deletes = 0
+        self.write_noops = 0
+        self.compactions = 0
+        self.flushes = 0
+        # merged (base ∪ delta) rows, memoised per dirty node: hub-skewed
+        # traffic re-reads the same written rows far more often than it
+        # writes them, so each hot row pays the python merge once.  The
+        # decoded *base* row is kept separately — it is immutable until
+        # the next compaction, so a write costs a re-merge, not a
+        # re-decode of the bit-packed segment row
+        self._merged_cache: dict[int, np.ndarray] = {}
+        self._base_cache: dict[int, np.ndarray] = {}
+        self._num_edges = (
+            int(num_edges) if num_edges is not None else self._count_edges()
+        )
+
+    def _count_edges(self) -> int:
+        if not self.segments and not len(self.memtable):
+            return 0
+        flat, offs = self.neighbors_batch(
+            np.arange(self.num_nodes, dtype=np.int64)
+        )
+        return int(offs[-1])
+
+    # -- protocol surface -----------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Logical edge count: segment edges, minus tombstoned copies,
+        plus memtable-only inserts (maintained incrementally by the
+        checked write path)."""
+        return self._num_edges
+
+    @property
+    def row_dtype(self) -> np.dtype:
+        """Dtype of decoded rows: always ``int64``.
+
+        Capabilities are resolved once per engine, but an LSM row's
+        provenance changes under writes (clean pass-through vs merged
+        delta patch), so the store commits to one dtype and casts
+        segment rows on the way out rather than flip mid-stream.
+        """
+        return np.dtype(np.int64)
+
+    def _check_node(self, u: int) -> None:
+        if not (0 <= u < self.num_nodes):
+            raise QueryError(f"node {u} out of range [0, {self.num_nodes})")
+
+    def _base_row(self, u: int) -> np.ndarray:
+        """Union of *u*'s row across every segment, as int64."""
+        if not self.segments:
+            return np.zeros(0, dtype=np.int64)
+        if len(self.segments) == 1:
+            return np.asarray(
+                self.segments[0].neighbors(u), dtype=np.int64
+            )
+        rows = [np.asarray(s.neighbors(u), dtype=np.int64)
+                for s in self.segments]
+        out = rows[0]
+        for row in rows[1:]:
+            out = np.union1d(out, row)
+        return out
+
+    def _merge_row(self, base: np.ndarray, delta) -> np.ndarray:
+        adds, dels = delta
+        row = np.asarray(base, dtype=np.int64)
+        if dels.size:
+            row = row[np.isin(row, dels, invert=True, assume_unique=True)]
+        if adds.size:
+            row = np.union1d(row, adds)
+        return row
+
+    def _merged_row(self, u: int, base=None) -> np.ndarray:
+        """Row *u* with its memtable delta applied, memoised until the
+        next write to *u* (or compaction)."""
+        cached = self._merged_cache.get(u)
+        if cached is not None:
+            return cached
+        if base is None:
+            base = self._base_cache.get(u)
+            if base is None:
+                base = self._base_row(u)
+        if u not in self._base_cache:
+            # a view (a slice of a batch decode) would pin its whole
+            # source buffer — cache an owning copy instead
+            self._base_cache[u] = base if base.base is None else base.copy()
+        delta = self.memtable.row_delta(u)
+        row = base if delta is None else self._merge_row(base, delta)
+        self._merged_cache[u] = row
+        return row
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Sorted destinations of *u*, snapshot-consistent with every
+        applied write."""
+        self._check_node(int(u))
+        if not self.memtable.is_dirty(int(u)):
+            return self._base_row(int(u))
+        return self._merged_row(int(u))
+
+    def neighbors_batch(self, unodes) -> tuple[np.ndarray, np.ndarray]:
+        """Bulk row fetch — ``(flat, offsets)``.
+
+        Clean batches over a single segment pass straight through the
+        segment's own vectorised kernel (same dtype, zero merge work);
+        otherwise rows are fetched through the segment batch path and
+        dirty rows patched with their memtable delta.
+        """
+        us = np.asarray(unodes, dtype=np.int64)
+        if us.ndim != 1:
+            raise QueryError("node batch must be 1-D")
+        if us.size and (int(us.min()) < 0 or int(us.max()) >= self.num_nodes):
+            raise QueryError(f"node ids must lie in [0, {self.num_nodes})")
+        clean = True
+        if len(self.memtable):
+            is_dirty = self.memtable.is_dirty
+            for u in us.tolist():
+                if is_dirty(u):
+                    clean = False
+                    break
+        if clean and len(self.segments) == 1:
+            flat, offs = _store_batch(self.segments[0], us)
+            return flat.astype(np.int64, copy=False), offs
+        if us.size == 0:
+            return np.zeros(0, dtype=self.row_dtype), np.zeros(1, np.int64)
+        rows: list = [None] * us.shape[0]
+        if len(self.segments) == 1:
+            # serve memoised rows straight from the per-node caches and
+            # batch-decode only the remainder, so a hub row written and
+            # re-read under skewed traffic decodes its segment base
+            # once per compaction epoch, not once per write
+            fetch: list[int] = []
+            for i, u in enumerate(us.tolist()):
+                row = self._merged_cache.get(u)
+                if row is None and u in self._base_cache:
+                    row = self._merged_row(u)
+                if row is None:
+                    fetch.append(i)
+                else:
+                    rows[i] = row
+            if fetch:
+                sub = us[np.asarray(fetch, dtype=np.int64)]
+                flat, offs = _store_batch(self.segments[0], sub)
+                flat = flat.astype(np.int64, copy=False)
+                for j, i in enumerate(fetch):
+                    u = int(us[i])
+                    base = flat[offs[j]: offs[j + 1]]
+                    rows[i] = (
+                        self._merged_row(u, base=base)
+                        if self.memtable.is_dirty(u)
+                        else base
+                    )
+        else:
+            for i, u in enumerate(us.tolist()):
+                rows[i] = (
+                    self._merged_row(u)
+                    if self.memtable.is_dirty(u)
+                    else self._base_row(u)
+                )
+        offsets = np.zeros(us.shape[0] + 1, dtype=np.int64)
+        np.cumsum([r.shape[0] for r in rows], out=offsets[1:])
+        flat = (np.concatenate(rows) if rows
+                else np.zeros(0, dtype=np.int64))
+        return flat.astype(np.int64, copy=False), offsets
+
+    def degree(self, u: int) -> int:
+        """Out-degree of *u* under the merged view."""
+        self._check_node(int(u))
+        if not self.memtable.is_dirty(int(u)) and len(self.segments) == 1:
+            return int(self.segments[0].degree(int(u)))
+        return int(self.neighbors(int(u)).shape[0])
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every node as an ``int64`` array."""
+        _, offs = self.neighbors_batch(
+            np.arange(self.num_nodes, dtype=np.int64)
+        )
+        return np.diff(offs)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Edge test: the memtable's verdict wins; otherwise the
+        (memoised) base row decides.
+
+        The fallback decodes and caches row *u*, so the write path —
+        every checked write probes ``has_edge`` — touches the
+        bit-packed segment once per node per compaction epoch instead
+        of once per write."""
+        u, v = int(u), int(v)
+        self._check_node(u)
+        self._check_node(v)
+        state = self.memtable.state(u, v)
+        if state is not None:
+            return state
+        return self._in_base(u, v)
+
+    def _in_base(self, u: int, v: int) -> bool:
+        """Membership of ``(u, v)`` in the segment layers, via the
+        memoised base row."""
+        row = self._base_cache.get(u)
+        if row is None:
+            if not self.segments:
+                return False
+            row = self._base_row(u)
+            self._base_cache[u] = row
+        return bool((row == v).any())
+
+    # -- writes ---------------------------------------------------------
+    def insert_edge(self, u: int, v: int) -> bool:
+        """Insert edge ``(u, v)``; returns False (a no-op) when the
+        edge already exists in the merged view."""
+        self._check_node(int(u))
+        self._check_node(int(v))
+        if self.has_edge(u, v):
+            self.write_noops += 1
+            return False
+        self.memtable.insert(u, v)
+        self._merged_cache.pop(int(u), None)
+        self.inserts += 1
+        self._num_edges += 1
+        return True
+
+    def delete_edge(self, u: int, v: int) -> bool:
+        """Delete edge ``(u, v)``; returns False (a no-op) when the
+        edge is already absent.  A delete landing on a memtable-only
+        insert removes the entry outright — the edge never reached a
+        segment, so no tombstone is needed."""
+        self._check_node(int(u))
+        self._check_node(int(v))
+        if not self.has_edge(u, v):
+            self.write_noops += 1
+            return False
+        if self._in_base(int(u), int(v)):
+            self.memtable.delete(u, v)
+        else:
+            self.memtable.remove(u, v)
+        self._merged_cache.pop(int(u), None)
+        self.deletes += 1
+        self._num_edges -= 1
+        return True
+
+    # -- compaction -----------------------------------------------------
+    def _logical_edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """The merged edge set as u-sorted ``(src, dst)`` int64 arrays."""
+        flat, offs = self.neighbors_batch(
+            np.arange(self.num_nodes, dtype=np.int64)
+        )
+        src = np.repeat(
+            np.arange(self.num_nodes, dtype=np.int64), np.diff(offs)
+        )
+        return src, flat.astype(np.int64, copy=False)
+
+    def _segment_opts(self) -> dict:
+        # a directory-backed inner (``disk``) writes each generation
+        # into its own sub-directory instead of clobbering the live one
+        opts = dict(self.inner_opts)
+        if opts.get("path") is not None:
+            from pathlib import Path
+
+            gen = self.compactions + self.flushes + 1
+            opts["path"] = Path(opts["path"]) / f"gen-{gen}"
+        return opts
+
+    def compact(self, executor=None) -> None:
+        """Fold memtable + segments into one fresh segment, atomically.
+
+        The merged logical edge set is rebuilt through the registered
+        inner builder (the Alg. 1 chunked prefix-sum pipeline for the
+        CSR family), then the segment list is swapped and the memtable
+        cleared in one step — readers before see the old layers,
+        readers after see the single new segment, and both views decode
+        identical rows.
+        """
+        from ..stores import open_store  # deferred: registry imports us
+
+        src, dst = self._logical_edges()
+        segment = open_store(
+            self.inner, src, dst, self.num_nodes,
+            executor=executor if executor is not None else self.executor,
+            **self._segment_opts(),
+        )
+        self.segments = [segment]
+        self.memtable.clear()
+        self._merged_cache.clear()
+        self._base_cache.clear()
+        self.compactions += 1
+        self._num_edges = int(segment.num_edges)
+
+    def flush(self, executor=None) -> None:
+        """Pack the memtable's *inserts* into a new appended segment.
+
+        A cheaper intermediate step than full compaction: only the
+        delta is rebuilt, existing segments stay untouched, and
+        tombstones remain resident (they mask base-segment edges that
+        still exist).  Reads then merge one more segment until the
+        next :meth:`compact` folds everything down to one.
+        """
+        from ..stores import open_store
+
+        us, vs, alive = self.memtable.entries()
+        src, dst = us[alive], vs[alive]
+        if src.size == 0:
+            return
+        segment = open_store(
+            self.inner, src, dst, self.num_nodes,
+            executor=executor if executor is not None else self.executor,
+            **self._segment_opts(),
+        )
+        self.segments.append(segment)
+        for u, v in zip(src.tolist(), dst.tolist()):
+            self.memtable.remove(u, v)
+        self._merged_cache.clear()
+        self._base_cache.clear()
+        self.flushes += 1
+
+    def maybe_compact(self, executor=None) -> bool:
+        """Compact when the memtable crossed the watermark; returns
+        whether a compaction ran."""
+        if (
+            self.compact_watermark > 0
+            and len(self.memtable) >= self.compact_watermark
+        ):
+            self.compact(executor)
+            return True
+        return False
+
+    # -- observability --------------------------------------------------
+    def stats(self) -> LsmStats:
+        """Structure and write counters as an immutable snapshot."""
+        return LsmStats(
+            segments=len(self.segments),
+            memtable_edges=len(self.memtable),
+            tombstones=self.memtable.tombstones,
+            logical_edges=self._num_edges,
+            inserts=self.inserts,
+            deletes=self.deletes,
+            write_noops=self.write_noops,
+            compactions=self.compactions,
+            flushes=self.flushes,
+            compact_watermark=self.compact_watermark,
+        )
+
+    def memory_bytes(self) -> int:
+        """Segment payloads plus the resident memtable and row memos."""
+        memo = sum(r.nbytes for r in self._merged_cache.values()) + sum(
+            r.nbytes for r in self._base_cache.values()
+        )
+        return int(sum(int(s.memory_bytes()) for s in self.segments)) + int(
+            self.memtable.memory_bytes()
+        ) + int(memo)
+
+    def __getattr__(self, name: str):
+        # Conditional page-touch surface: present exactly when every
+        # segment meters mapped pages, mirroring ShardedStore.
+        if name == "take_page_touches":
+            try:
+                segments = object.__getattribute__(self, "segments")
+            except AttributeError:
+                raise AttributeError(name) from None
+            if segments and all(
+                callable(getattr(s, "take_page_touches", None))
+                for s in segments
+            ):
+                def take_page_touches() -> int:
+                    """Drain every segment's distinct-page counter."""
+                    return sum(int(s.take_page_touches()) for s in segments)
+
+                return take_page_touches
+        raise AttributeError(name)
+
+    def __repr__(self) -> str:
+        return (
+            f"LsmStore(n={self.num_nodes}, m={self.num_edges}, "
+            f"segments={len(self.segments)}, "
+            f"memtable={len(self.memtable)} "
+            f"(+{self.memtable.tombstones} tombstones), "
+            f"inner={self.inner!r}, "
+            f"mem={human_bytes(self.memory_bytes())})"
+        )
+
+    # -- persistence (packed segments) ----------------------------------
+    def save(self, path) -> None:
+        """Persist to ``.npz`` (bit-packed segments only).
+
+        Layout mirrors :meth:`~repro.shard.ShardedStore.save`: each
+        segment's payload under a ``segment{i}_`` prefix, plus the
+        memtable as parallel ``mt_u``/``mt_v``/``mt_alive`` arrays, so
+        one file round-trips the live store mid-stream.
+        """
+        from ..csr.packed import BitPackedCSR
+
+        for i, seg in enumerate(self.segments):
+            if not isinstance(seg, BitPackedCSR):
+                raise ValidationError(
+                    f"only packed segments can be saved (segment {i} is "
+                    f"{type(seg).__name__})"
+                )
+        us, vs, alive = self.memtable.entries()
+        payload: dict = {
+            "store_kind": "lsm",
+            "num_nodes": self.num_nodes,
+            "num_edges": self._num_edges,
+            "num_segments": len(self.segments),
+            "inner": self.inner,
+            "compact_watermark": self.compact_watermark,
+            "mt_u": us,
+            "mt_v": vs,
+            "mt_alive": alive,
+        }
+        for i, seg in enumerate(self.segments):
+            prefix = f"segment{i}_"
+            payload[f"{prefix}num_nodes"] = seg.num_nodes
+            payload[f"{prefix}num_edges"] = seg.num_edges
+            payload[f"{prefix}offset_width"] = seg.offset_width
+            payload[f"{prefix}column_width"] = seg.column_width
+            payload[f"{prefix}gap_encoded"] = int(seg.gap_encoded)
+            payload[f"{prefix}offsets"] = seg.offsets.buffer
+            payload[f"{prefix}offsets_nbits"] = seg.offsets.nbits
+            payload[f"{prefix}columns"] = seg.columns.buffer
+            payload[f"{prefix}columns_nbits"] = seg.columns.nbits
+        np.savez_compressed(path, **payload)
+
+    @classmethod
+    def load(cls, path) -> "LsmStore":
+        """Rebuild a live LSM store saved by :meth:`save`."""
+        from ..bitpack.bitarray import BitArray
+        from ..csr.packed import BitPackedCSR
+
+        with np.load(path) as data:
+            if "store_kind" not in data.files or str(data["store_kind"]) != "lsm":
+                raise ValidationError(f"{path} is not an lsm store file")
+            segments = []
+            for i in range(int(data["num_segments"])):
+                prefix = f"segment{i}_"
+                segments.append(
+                    BitPackedCSR(
+                        int(data[f"{prefix}num_nodes"]),
+                        int(data[f"{prefix}num_edges"]),
+                        BitArray(
+                            data[f"{prefix}offsets"],
+                            int(data[f"{prefix}offsets_nbits"]),
+                        ),
+                        int(data[f"{prefix}offset_width"]),
+                        BitArray(
+                            data[f"{prefix}columns"],
+                            int(data[f"{prefix}columns_nbits"]),
+                        ),
+                        int(data[f"{prefix}column_width"]),
+                        gap_encoded=bool(int(data[f"{prefix}gap_encoded"])),
+                    )
+                )
+            memtable = DeltaMemtable.from_entries(
+                data["mt_u"], data["mt_v"], data["mt_alive"]
+            )
+            return cls(
+                int(data["num_nodes"]),
+                segments,
+                inner=str(data["inner"]),
+                compact_watermark=int(data["compact_watermark"]),
+                memtable=memtable,
+                num_edges=int(data["num_edges"]),
+            )

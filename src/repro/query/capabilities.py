@@ -44,6 +44,12 @@ class StoreCapabilities:
         store, and composites wrapping one).  Query kernels charge the
         drained count to the ``page_touches`` cost channel after each
         bulk fetch.
+    supports_writes:
+        The store accepts in-place edge mutations through
+        ``insert_edge(u, v)`` / ``delete_edge(u, v)`` (the
+        log-structured :class:`~repro.lsm.LsmStore`).  The serving
+        layer routes :class:`~repro.serve.request.WriteRequest`
+        traffic only to stores declaring this.
     """
 
     has_native_batch: bool
@@ -51,6 +57,7 @@ class StoreCapabilities:
     is_packed: bool
     decode_bits: int
     counts_page_touches: bool = False
+    supports_writes: bool = False
 
 
 def capabilities(store) -> StoreCapabilities:
@@ -66,6 +73,9 @@ def capabilities(store) -> StoreCapabilities:
     width = getattr(store, "column_width", None)
     declared = getattr(store, "row_dtype", None)
     pages = callable(getattr(store, "take_page_touches", None))
+    writes = callable(getattr(store, "insert_edge", None)) and callable(
+        getattr(store, "delete_edge", None)
+    )
     if declared is not None:
         dtype = np.dtype(declared)
     elif width is not None:
@@ -80,6 +90,7 @@ def capabilities(store) -> StoreCapabilities:
             is_packed=True,
             decode_bits=int(width),
             counts_page_touches=pages,
+            supports_writes=writes,
         )
     return StoreCapabilities(
         has_native_batch=native,
@@ -87,4 +98,5 @@ def capabilities(store) -> StoreCapabilities:
         is_packed=False,
         decode_bits=1,
         counts_page_touches=pages,
+        supports_writes=writes,
     )

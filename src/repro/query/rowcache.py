@@ -35,6 +35,7 @@ class RowCacheStats:
     rows: int
     elements: int
     capacity: int
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -65,6 +66,7 @@ class RowCache:
         "hits",
         "misses",
         "evictions",
+        "invalidations",
         "_rows",
         "_elements",
     )
@@ -76,6 +78,7 @@ class RowCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
         self._rows: OrderedDict[int, np.ndarray] = OrderedDict()
         self._elements = 0
 
@@ -195,6 +198,25 @@ class RowCache:
             self._elements -= evicted.shape[0]
             self.evictions += 1
 
+    def invalidate(self, nodes) -> int:
+        """Evict the cached rows of *nodes* (ids without a resident row
+        are ignored); returns how many rows were dropped.
+
+        The staleness hatch for mutable stores: after the wrapped
+        store's row *u* changes, ``invalidate([u])`` guarantees the
+        next lookup re-decodes instead of serving the pre-write copy.
+        Dropped rows count in ``stats().invalidations``, not
+        ``evictions`` (those remain capacity-pressure only).
+        """
+        dropped = 0
+        for u in np.asarray(nodes, dtype=np.int64).ravel().tolist():
+            row = self._rows.pop(u, None)
+            if row is not None:
+                self._elements -= row.shape[0]
+                dropped += 1
+        self.invalidations += dropped
+        return dropped
+
     def stats(self) -> RowCacheStats:
         """Current counters as an immutable snapshot."""
         return RowCacheStats(
@@ -204,6 +226,7 @@ class RowCache:
             rows=len(self._rows),
             elements=self._elements,
             capacity=self.capacity,
+            invalidations=self.invalidations,
         )
 
     def clear(self) -> None:
@@ -213,6 +236,7 @@ class RowCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def __repr__(self) -> str:
         s = self.stats()

@@ -276,10 +276,11 @@ def build_reordered_store(
     inner builder.
     """
     from ..csr.builder import build_csr_serial, ensure_sorted
-    from ..stores import open_store
+    from ..stores import inner_store_spec, open_store
 
     if inner == "reordered":
         raise ValidationError("reordered stores cannot nest directly")
+    inner_store_spec(inner, "reordered")
     src, dst = ensure_sorted(sources, destinations)
     graph = build_csr_serial(src, dst, num_nodes)
     perm = compute_ordering(order, graph)

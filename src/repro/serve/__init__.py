@@ -25,6 +25,7 @@ from .request import (
     NeighborsRequest,
     ReplySlot,
     Request,
+    WriteRequest,
 )
 from .server import GraphQueryServer
 from .workload import replay, synthetic_workload, zipf_nodes
@@ -43,6 +44,7 @@ __all__ = [
     "Request",
     "NeighborsRequest",
     "EdgeRequest",
+    "WriteRequest",
     "ReplySlot",
     "ManualClock",
     "PENDING",

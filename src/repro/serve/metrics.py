@@ -75,6 +75,13 @@ class ServeSnapshot:
     latency_ns_p99: float
     service_ns_total: float
     elapsed_s: float | None = None
+    writes: int = 0
+    write_noops: int = 0
+    write_ns_p50: float = 0.0
+    write_ns_p95: float = 0.0
+    write_ns_p99: float = 0.0
+    memtable_edges: int = 0
+    compactions: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -103,9 +110,12 @@ class ServeMetrics:
         "duplicates_coalesced",
         "depth_high_watermark",
         "service_ns_total",
+        "writes",
+        "write_noops",
         "_batch_sizes",
         "_waits_ns",
         "_latencies_ns",
+        "_write_ns",
     )
 
     def __init__(self):
@@ -115,9 +125,12 @@ class ServeMetrics:
         self.duplicates_coalesced = 0
         self.depth_high_watermark = 0
         self.service_ns_total = 0.0
+        self.writes = 0
+        self.write_noops = 0
         self._batch_sizes: list[int] = []
         self._waits_ns: list[float] = []
         self._latencies_ns: list[float] = []
+        self._write_ns: list[float] = []
 
     def record_depth(self, depth: int) -> None:
         """Track the queue depth observed after an admit."""
@@ -140,17 +153,27 @@ class ServeMetrics:
         self._waits_ns.append(float(wait_ns))
         self._latencies_ns.append(float(latency_ns))
 
+    def record_write(self, service_ns: float, applied: bool) -> None:
+        """Record one applied-inline write and its wall service time."""
+        self.writes += 1
+        if not applied:
+            self.write_noops += 1
+        self._write_ns.append(float(service_ns))
+
     def snapshot(self, admission_stats=None, *,
-                 elapsed_s: float | None = None) -> ServeSnapshot:
+                 elapsed_s: float | None = None, lsm=None) -> ServeSnapshot:
         """Freeze the counters into a :class:`ServeSnapshot`.
 
         ``admission_stats`` (an
         :class:`~repro.serve.admission.AdmissionStats`) contributes the
         accepted/rejected/shed/blocked counts; ``elapsed_s`` enables
-        the throughput property.
+        the throughput property; ``lsm`` (an
+        :class:`~repro.lsm.LsmStats`) contributes the write target's
+        memtable size and compaction count.
         """
         wp50, wp95, wp99 = quantiles(self._waits_ns)
         lp50, lp95, lp99 = quantiles(self._latencies_ns)
+        xp50, xp95, xp99 = quantiles(self._write_ns)
         return ServeSnapshot(
             accepted=admission_stats.accepted if admission_stats else self.completed,
             completed=self.completed,
@@ -174,6 +197,13 @@ class ServeMetrics:
             latency_ns_p99=lp99,
             service_ns_total=self.service_ns_total,
             elapsed_s=elapsed_s,
+            writes=self.writes,
+            write_noops=self.write_noops,
+            write_ns_p50=xp50,
+            write_ns_p95=xp95,
+            write_ns_p99=xp99,
+            memtable_edges=getattr(lsm, "memtable_edges", 0),
+            compactions=getattr(lsm, "compactions", 0),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

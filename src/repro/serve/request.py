@@ -31,6 +31,7 @@ __all__ = [
     "Request",
     "NeighborsRequest",
     "EdgeRequest",
+    "WriteRequest",
     "ReplySlot",
     "ManualClock",
     "PENDING",
@@ -100,6 +101,28 @@ class EdgeRequest(Request):
     def key(self) -> tuple:
         """Coalescing identity — repeated (u, v) pairs dedup to one lane."""
         return ("e", int(self.u), int(self.v))
+
+
+@dataclass(slots=True)
+class WriteRequest(Request):
+    """One edge mutation: insert or delete ``(u, v)``.
+
+    Writes never enter the coalescer — the server applies them inline
+    at submit time against a write-capable store (see
+    :class:`~repro.serve.server.GraphQueryServer`), resolving the slot
+    with the applied/no-op bool immediately, so reads submitted after
+    a write always observe it.
+    """
+
+    op: str = "insert"
+    u: int = 0
+    v: int = 0
+
+    @property
+    def key(self) -> tuple:
+        """Identity tuple (writes are never coalesced, but every
+        request kind shares the keyed surface)."""
+        return ("w", self.op, int(self.u), int(self.v))
 
 
 class ReplySlot:

@@ -29,6 +29,7 @@ import time
 
 from ..errors import QueryError, ValidationError
 from ..parallel.machine import Executor
+from ..query.capabilities import capabilities
 from ..query.edges import Method
 from ..query.engine import QueryEngine
 from ..query.rowcache import RowCache
@@ -44,6 +45,7 @@ from .request import (
     NeighborsRequest,
     ReplySlot,
     Request,
+    WriteRequest,
     default_clock,
 )
 
@@ -103,6 +105,13 @@ class GraphQueryServer:
         self.metrics = ServeMetrics()
         self._slots: dict[int, ReplySlot] = {}
         self._next_ticket = 0
+        # the write target is the store under any RowCache wrap — a
+        # WriteRequest mutates it directly, then invalidates the
+        # touched row so no pre-write copy can ever be served
+        target = store.store if isinstance(store, RowCache) else store
+        self._write_target = (
+            target if capabilities(target).supports_writes else None
+        )
 
     @property
     def store(self):
@@ -124,7 +133,7 @@ class GraphQueryServer:
         closed a batch (by size, by an expired window, or by the
         ``block`` policy draining to make room).
         """
-        if not isinstance(request, (NeighborsRequest, EdgeRequest)):
+        if not isinstance(request, (NeighborsRequest, EdgeRequest, WriteRequest)):
             raise ValidationError(
                 f"unsupported request type {type(request).__name__}"
             )
@@ -134,6 +143,8 @@ class GraphQueryServer:
         self._next_ticket += 1
         request.enqueue_ns = now
         slot = ReplySlot(request)
+        if isinstance(request, WriteRequest):
+            return self._apply_write(request, slot, now)
         decision = self.admission.decide(self.coalescer.pending)
         if decision == "reject":
             slot._resolve(REJECTED)
@@ -151,6 +162,48 @@ class GraphQueryServer:
         self.admission.record_admitted(self.coalescer.pending)
         self.metrics.record_depth(self.coalescer.pending)
         self.pump(now)
+        return slot
+
+    def _apply_write(self, request: WriteRequest, slot: ReplySlot,
+                     now: float) -> ReplySlot:
+        """Apply one edge mutation inline, bypassing the coalescer.
+
+        Writes need no batching (each is one memtable upsert) and must
+        be visible to every later read, so they execute at submit time:
+        mutate the write target, invalidate the touched row in the
+        cache, and run the watermark compaction check.  The slot
+        resolves DONE with the applied/no-op bool immediately.
+        """
+        if self._write_target is None:
+            raise ValidationError(
+                "store does not support writes (serve writes need a "
+                "write-capable store such as the lsm kind)"
+            )
+        if request.op not in ("insert", "delete"):
+            raise ValidationError(
+                f"unknown write op {request.op!r} (known: insert, delete)"
+            )
+        t0 = time.perf_counter_ns()
+        if request.op == "insert":
+            applied = self._write_target.insert_edge(request.u, request.v)
+        else:
+            applied = self._write_target.delete_edge(request.u, request.v)
+        cache = self.row_cache
+        if cache is not None and applied:
+            cache.invalidate([request.u])
+        compact = getattr(self._write_target, "maybe_compact", None)
+        if callable(compact) and compact():
+            # compaction rewrote every row's backing segment; contents
+            # are bit-exact, so resident cached rows stay valid
+            pass
+        service_ns = time.perf_counter_ns() - t0
+        request.dispatch_ns = now
+        request.complete_ns = max(float(now), float(self._clock()))
+        slot._resolve(DONE, applied)
+        # writes live in their own counters (writes / write_noops /
+        # write percentiles) — the read-side completed/batch metrics
+        # keep describing only coalesced query traffic
+        self.metrics.record_write(service_ns, applied)
         return slot
 
     def pump(self, now: float | None = None) -> int:
@@ -214,9 +267,13 @@ class GraphQueryServer:
 
     # -- observability --------------------------------------------------
     def snapshot(self, *, elapsed_s: float | None = None) -> ServeSnapshot:
-        """Current serve metrics merged with the admission counters."""
+        """Current serve metrics merged with the admission counters
+        (and the write target's LSM stats, when one is wired)."""
+        stats_fn = getattr(self._write_target, "stats", None)
         return self.metrics.snapshot(
-            self.admission.stats(), elapsed_s=elapsed_s
+            self.admission.stats(),
+            elapsed_s=elapsed_s,
+            lsm=stats_fn() if callable(stats_fn) else None,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -21,7 +21,13 @@ from __future__ import annotations
 import numpy as np
 
 from ..utils import require
-from .request import EdgeRequest, ManualClock, NeighborsRequest, Request
+from .request import (
+    EdgeRequest,
+    ManualClock,
+    NeighborsRequest,
+    Request,
+    WriteRequest,
+)
 
 __all__ = ["synthetic_workload", "zipf_nodes", "replay"]
 
@@ -50,6 +56,8 @@ def synthetic_workload(
     mean_interarrival_ns: float = 1_000.0,
     edges: tuple[np.ndarray, np.ndarray] | None = None,
     seed: int = 2023,
+    write_fraction: float = 0.0,
+    delete_fraction: float = 0.2,
 ) -> list[tuple[float, Request]]:
     """A seeded open-loop request schedule: ``[(arrival_ns, request)]``.
 
@@ -69,11 +77,22 @@ def synthetic_workload(
         half random pairs — so both kernel outcomes are exercised.
     seed:
         Everything (popularity, mix, schedule) derives from this.
+    write_fraction:
+        Share of requests that are edge writes (mixed read/write
+        traffic against a write-capable store); the write mask is
+        drawn *after* every read-path draw, so a given seed's
+        read-only stream (``write_fraction=0``) is byte-identical to
+        what it was before writes existed.
+    delete_fraction:
+        Share of those writes that are deletes (targeting planted
+        edges when *edges* is given, so deletes actually land).
     """
     require(n_requests >= 0, "n_requests must be non-negative")
     require(kind in ("zipf", "uniform"), f"unknown workload kind {kind!r}")
     require(0.0 <= edge_fraction <= 1.0, "edge_fraction must be in [0, 1]")
     require(mean_interarrival_ns >= 0, "mean interarrival must be non-negative")
+    require(0.0 <= write_fraction <= 1.0, "write_fraction must be in [0, 1]")
+    require(0.0 <= delete_fraction <= 1.0, "delete_fraction must be in [0, 1]")
     rng = np.random.default_rng(seed)
     if kind == "zipf":
         nodes = zipf_nodes(2 * n_requests, num_nodes, skew, rng)
@@ -90,14 +109,29 @@ def synthetic_workload(
         if edges is not None and edges[0].shape[0]
         else None
     )
+    # write draws come last: a write_fraction=0 stream consumes exactly
+    # the pre-write RNG sequence, keeping read-only workloads stable
+    # per seed across versions
+    if write_fraction > 0:
+        is_write = rng.random(n_requests) < write_fraction
+        is_del = rng.random(n_requests) < delete_fraction
+    else:
+        is_write = is_del = None
     out: list[tuple[float, Request]] = []
     for i in range(n_requests):
-        if is_edge[i]:
+        if is_write is not None and is_write[i]:
+            if is_del[i] and plant_idx is not None:
+                u, v = int(edges[0][plant_idx[i]]), int(edges[1][plant_idx[i]])
+                req: Request = WriteRequest(op="delete", u=u, v=v)
+            else:
+                u, v = int(nodes[2 * i]), int(nodes[2 * i + 1])
+                req = WriteRequest(op="insert", u=u, v=v)
+        elif is_edge[i]:
             if plant_idx is not None and planted[i]:
                 u, v = int(edges[0][plant_idx[i]]), int(edges[1][plant_idx[i]])
             else:
                 u, v = int(nodes[2 * i]), int(nodes[2 * i + 1])
-            req: Request = EdgeRequest(u=u, v=v)
+            req = EdgeRequest(u=u, v=v)
         else:
             req = NeighborsRequest(node=int(nodes[2 * i]))
         out.append((float(arrivals[i]), req))

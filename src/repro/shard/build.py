@@ -93,8 +93,9 @@ def build_sharded_store(
         Passed through to the inner kind's builder (e.g.
         ``gap_encode=True`` for packed shards).
     """
-    from ..stores import open_store  # deferred: the registry registers us
+    from ..stores import inner_store_spec, open_store  # deferred: the registry registers us
 
+    inner_store_spec(inner, "sharded")
     require(shards >= 1, "shard count must be >= 1")
     src, dst = check_edge_list(sources, destinations, n)
     if sort:

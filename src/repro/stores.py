@@ -27,6 +27,7 @@ __all__ = [
     "register_store",
     "get_store_spec",
     "available_stores",
+    "inner_store_spec",
     "open_store",
 ]
 
@@ -75,6 +76,24 @@ def get_store_spec(kind: str) -> StoreSpec:
 def available_stores() -> list[str]:
     """Names of every registered store kind, sorted."""
     return sorted(_REGISTRY)
+
+
+def inner_store_spec(inner: str, outer: str) -> StoreSpec:
+    """Resolve the nested ``inner=`` kind of a composite store.
+
+    Same lookup as :func:`get_store_spec`, but an unknown kind names
+    the composite it was nested in — so ``open_store("sharded", ...,
+    inner="btree")`` fails with one line saying *which* level was
+    wrong, not just that some kind was unknown.
+    """
+    try:
+        return get_store_spec(inner)
+    except ValidationError:
+        known = ", ".join(available_stores()) or "<none>"
+        raise ValidationError(
+            f"unknown inner store kind '{inner}' for {outer} store "
+            f"(known: {known})"
+        ) from None
 
 
 def open_store(kind: str, sources, destinations, n: int, **opts):
@@ -178,6 +197,12 @@ def _build_reordered(sources, destinations, n, *, executor=None, **opts):
     return build_reordered_store(sources, destinations, n, executor=executor, **opts)
 
 
+def _build_lsm(sources, destinations, n, **opts):
+    from .lsm.build import build_lsm_store
+
+    return build_lsm_store(sources, destinations, n, **opts)
+
+
 def _register_builtins() -> None:
     from .baselines import (
         AdjacencyListStore,
@@ -226,6 +251,10 @@ def _register_builtins() -> None:
         ("reordered", _build_reordered,
          "id-translating wrapper over a relabeled inner store "
          "(opts: order, inner, executor, + inner kind opts)"),
+        ("lsm", _build_lsm,
+         "log-structured mutable store: delta memtable over immutable "
+         "segments (opts: inner, compact_watermark, executor, "
+         "+ inner kind opts)"),
     ]
     for kind, builder, description in builtins:
         if kind not in _REGISTRY:

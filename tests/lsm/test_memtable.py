@@ -1,0 +1,138 @@
+"""DeltaMemtable unit behaviour: state transitions and counters."""
+
+import numpy as np
+import pytest
+
+from repro.lsm import DeltaMemtable
+
+
+class TestStateMachine:
+    def test_empty(self):
+        mt = DeltaMemtable()
+        assert len(mt) == 0
+        assert mt.tombstones == 0
+        assert mt.state(1, 2) is None
+        assert not mt.is_dirty(1)
+        assert mt.row_delta(1) is None
+
+    def test_insert_then_query(self):
+        mt = DeltaMemtable()
+        mt.insert(3, 7)
+        assert len(mt) == 1
+        assert mt.tombstones == 0
+        assert mt.state(3, 7) is True
+        assert mt.state(3, 8) is None
+        assert mt.is_dirty(3)
+
+    def test_delete_records_tombstone(self):
+        mt = DeltaMemtable()
+        mt.delete(3, 7)
+        assert len(mt) == 1
+        assert mt.tombstones == 1
+        assert mt.state(3, 7) is False
+
+    def test_insert_overwrites_tombstone(self):
+        mt = DeltaMemtable()
+        mt.delete(3, 7)
+        mt.insert(3, 7)
+        assert len(mt) == 1
+        assert mt.tombstones == 0
+        assert mt.state(3, 7) is True
+
+    def test_delete_overwrites_insert(self):
+        mt = DeltaMemtable()
+        mt.insert(3, 7)
+        mt.delete(3, 7)
+        assert len(mt) == 1
+        assert mt.tombstones == 1
+        assert mt.state(3, 7) is False
+
+    def test_idempotent_rewrites_keep_counts(self):
+        mt = DeltaMemtable()
+        mt.insert(3, 7)
+        mt.insert(3, 7)
+        mt.delete(4, 1)
+        mt.delete(4, 1)
+        assert len(mt) == 2
+        assert mt.tombstones == 1
+
+    def test_remove_drops_entry_entirely(self):
+        mt = DeltaMemtable()
+        mt.insert(3, 7)
+        mt.remove(3, 7)
+        assert len(mt) == 0
+        assert mt.state(3, 7) is None
+        assert not mt.is_dirty(3)
+        mt.delete(5, 5)
+        mt.remove(5, 5)
+        assert mt.tombstones == 0
+        # removing a missing entry is a no-op
+        mt.remove(9, 9)
+        assert len(mt) == 0
+
+
+class TestRowDelta:
+    def test_sorted_adds_and_dels(self):
+        mt = DeltaMemtable()
+        for v in (9, 2, 5):
+            mt.insert(1, v)
+        for v in (8, 3):
+            mt.delete(1, v)
+        adds, dels = mt.row_delta(1)
+        assert adds.tolist() == [2, 5, 9]
+        assert dels.tolist() == [3, 8]
+        assert adds.dtype == np.int64 and dels.dtype == np.int64
+
+    def test_cache_invalidated_on_write(self):
+        mt = DeltaMemtable()
+        mt.insert(1, 2)
+        assert mt.row_delta(1)[0].tolist() == [2]
+        mt.insert(1, 4)
+        assert mt.row_delta(1)[0].tolist() == [2, 4]
+        mt.remove(1, 2)
+        assert mt.row_delta(1)[0].tolist() == [4]
+
+    def test_dirty_nodes_sorted(self):
+        mt = DeltaMemtable()
+        mt.insert(9, 1)
+        mt.delete(2, 1)
+        assert mt.dirty_nodes().tolist() == [2, 9]
+
+
+class TestSerialisation:
+    def test_entries_roundtrip(self):
+        mt = DeltaMemtable()
+        mt.insert(5, 1)
+        mt.delete(2, 9)
+        mt.insert(2, 3)
+        us, vs, alive = mt.entries()
+        assert us.tolist() == [2, 2, 5]
+        assert vs.tolist() == [3, 9, 1]
+        assert alive.tolist() == [True, False, True]
+        back = DeltaMemtable.from_entries(us, vs, alive)
+        assert len(back) == len(mt)
+        assert back.tombstones == mt.tombstones
+        for u, v, a in zip(us.tolist(), vs.tolist(), alive.tolist()):
+            assert back.state(u, v) is a
+
+    def test_from_entries_shape_mismatch(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            DeltaMemtable.from_entries([1, 2], [3], [True])
+
+    def test_clear(self):
+        mt = DeltaMemtable()
+        mt.insert(1, 2)
+        mt.delete(3, 4)
+        mt.clear()
+        assert len(mt) == 0
+        assert mt.tombstones == 0
+        assert mt.row_delta(1) is None
+
+    def test_memory_bytes_grows(self):
+        mt = DeltaMemtable()
+        empty = mt.memory_bytes()
+        for v in range(50):
+            mt.insert(0, v)
+        assert mt.memory_bytes() > empty

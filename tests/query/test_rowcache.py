@@ -206,3 +206,56 @@ class TestRowCacheSurfacing:
 
     def test_stats_hit_rate_empty(self, packed):
         assert RowCache(packed, capacity=10).stats().hit_rate == 0.0
+
+
+class TestRowCacheInvalidation:
+    """invalidate(nodes) drops resident rows so mutable stores can keep
+    cached reads consistent after writes (the lsm serving path)."""
+
+    def test_invalidate_drops_resident_rows(self, packed):
+        cache = RowCache(packed, capacity=10_000)
+        cache.neighbors(1)
+        cache.neighbors(2)
+        elements = cache.stats().elements
+        dropped = cache.invalidate([1, 7])  # 7 was never cached
+        assert dropped == 1
+        assert cache.invalidations == 1
+        assert cache.stats().elements < elements or packed.degree(1) == 0
+        # next read is a miss, re-fetched from the store
+        misses = cache.misses
+        cache.neighbors(1)
+        assert cache.misses == misses + 1
+
+    def test_invalidate_prevents_stale_reads(self, sorted_edges):
+        """Without invalidation a cached row outlives a write; with it
+        the next read sees the new edge."""
+        from repro.lsm import build_lsm_store
+
+        src, dst, n = sorted_edges
+        store = build_lsm_store(src, dst, n)
+        cache = RowCache(store, capacity=100_000)
+        u = 5
+        v = next(x for x in range(n) if not store.has_edge(u, x))
+        stale = cache.neighbors(u)
+        store.insert_edge(u, v)
+        assert np.array_equal(cache.neighbors(u), stale), "expected staleness"
+        cache.invalidate([u])
+        assert v in cache.neighbors(u).tolist()
+
+    def test_invalidate_accepts_array_and_counts_cumulatively(self, packed):
+        cache = RowCache(packed, capacity=10_000)
+        for u in range(6):
+            cache.neighbors(u)
+        assert cache.invalidate(np.arange(3)) == 3
+        assert cache.invalidate(np.arange(6)) == 3  # 0-2 already gone
+        assert cache.invalidations == 6
+        assert cache.invalidate([]) == 0
+
+    def test_invalidations_rendered_and_reset(self, packed):
+        cache = RowCache(packed, capacity=10_000)
+        cache.neighbors(2)
+        cache.invalidate([2])
+        assert cache.stats().invalidations == 1
+        assert "invalidations" in render_cache_stats(cache)
+        cache.clear()
+        assert cache.invalidations == 0

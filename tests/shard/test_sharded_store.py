@@ -305,3 +305,53 @@ class TestPersistence:
         mono.save(path)
         with pytest.raises(ValidationError):
             ShardedStore.load(path)
+
+
+class TestEmptyShards:
+    """Regression: partitions where some shards receive zero edges.
+
+    Concentrating every edge on one source node makes range.balanced
+    put the whole graph in one shard and leaves the rest empty; hash
+    does the same since all sources share a hash bucket.  Queries must
+    still scatter-gather correctly through the empty shards.
+    """
+
+    @pytest.fixture
+    def hot_node(self):
+        n, hot = 40, 17
+        dst = np.arange(0, n, 2, dtype=np.int64)
+        src = np.full(dst.shape, hot, dtype=np.int64)
+        return src, dst, n, hot
+
+    @pytest.mark.parametrize("partitioner", PARTITIONERS)
+    def test_zero_edge_shards_query_correctly(self, hot_node, partitioner):
+        src, dst, n, hot = hot_node
+        mono = open_store("packed", src, dst, n)
+        sharded = open_store(
+            "sharded", src, dst, n,
+            shards=4, partitioner=partitioner, inner="packed",
+        )
+        empties = [s for s in sharded.shards if s.num_edges == 0]
+        assert empties, f"{partitioner} partition left no empty shard"
+        assert sharded.num_edges == mono.num_edges
+        for u in (0, hot, n - 1):
+            assert np.array_equal(sharded.neighbors(u), mono.neighbors(u))
+            assert sharded.degree(u) == mono.degree(u)
+        us = np.arange(n, dtype=np.int64)
+        flat, offs = sharded.neighbors_batch(us)
+        mflat, moffs = mono.neighbors_batch(us)
+        assert np.array_equal(offs, moffs)
+        assert np.array_equal(
+            np.asarray(flat, np.int64), np.asarray(mflat, np.int64)
+        )
+        assert sharded.has_edge(hot, 0) and not sharded.has_edge(0, hot)
+
+    def test_balanced_range_cuts_with_empty_tail(self, hot_node):
+        src, dst, n, _ = hot_node
+        part = RangePartitioner.balanced(src, n, 4)
+        sizes = [
+            int(((src >= lo) & (src < hi)).sum())
+            for lo, hi in zip(part.bounds[:-1], part.bounds[1:])
+        ]
+        assert 0 in sizes
+        assert sum(sizes) == len(src)

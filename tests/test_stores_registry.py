@@ -40,7 +40,7 @@ class TestRegistry:
         for kind in ("csr", "csr-serial", "packed", "gap", "disk", "sharded",
                      "adjlist", "edgelist", "edgelist-unsorted",
                      "adjmatrix", "bitmatrix", "k2tree", "compact",
-                     "reordered"):
+                     "reordered", "lsm"):
             assert kind in kinds
 
     def test_unknown_kind_lists_known(self):
@@ -82,6 +82,28 @@ class TestRegistry:
         )
         assert store.shards[0].gap_encoded
 
+    def test_lsm_nested_inner_kind(self, edges):
+        src, dst, n = edges
+        store = open_store("lsm", src, dst, n, inner="gap")
+        assert store.segments[0].gap_encoded
+
+    @pytest.mark.parametrize("outer,opts", [
+        ("sharded", {"shards": 2}),
+        ("lsm", {}),
+        ("reordered", {}),
+    ])
+    def test_unknown_nested_inner_kind_names_composite(self, edges, outer, opts):
+        """An unknown inner= fails with one line naming the composite
+        it was nested in and listing the known kinds."""
+        src, dst, n = edges
+        with pytest.raises(
+            ValidationError,
+            match=f"unknown inner store kind 'btree' for {outer} store",
+        ) as excinfo:
+            open_store(outer, src, dst, n, inner="btree", **opts)
+        assert "known:" in str(excinfo.value)
+        assert "\n" not in str(excinfo.value).strip()
+
     def test_old_constructors_still_work(self, edges):
         """The registry is additive — direct construction is untouched."""
         from repro.csr import BitPackedCSR, build_csr_serial
@@ -100,7 +122,7 @@ class TestProtocolConformance:
         # via the assertion inside test_builtin_kinds_present
         ["csr", "csr-serial", "packed", "gap", "disk", "sharded", "adjlist",
          "edgelist", "edgelist-unsorted", "adjmatrix", "bitmatrix", "k2tree",
-         "compact", "reordered"]
+         "compact", "reordered", "lsm"]
     ))
     def test_kind(self, built, edges, kind):
         src, dst, n = edges
@@ -134,5 +156,5 @@ class TestProtocolConformance:
         assert sorted(built) == sorted(
             ["csr", "csr-serial", "packed", "gap", "disk", "sharded", "adjlist",
              "edgelist", "edgelist-unsorted", "adjmatrix", "bitmatrix",
-             "k2tree", "compact", "reordered"]
+             "k2tree", "compact", "reordered", "lsm"]
         ), "new registered kinds must be added to TestProtocolConformance"
