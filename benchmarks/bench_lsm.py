@@ -23,6 +23,7 @@ from repro.lsm import LsmStore
 from repro.serve import (
     GraphQueryServer,
     ManualClock,
+    ServerConfig,
     WriteRequest,
     replay,
     synthetic_workload,
@@ -89,11 +90,13 @@ def _serve_wallclock(store, workload, *, cache_elements=100_000):
     the measured seconds are serving compute alone."""
     server = GraphQueryServer(
         store,
-        cache_elements=cache_elements,
-        max_batch_size=256,
-        max_wait_ns=500e3,
-        queue_capacity=1 << 16,
-        policy="block",
+        config=ServerConfig(
+            cache_elements=cache_elements,
+            max_batch_size=256,
+            max_wait_ns=500e3,
+            queue_capacity=1 << 16,
+            policy="block",
+        ),
         clock=ManualClock(),
     )
     t0 = time.perf_counter()

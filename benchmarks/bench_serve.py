@@ -30,6 +30,7 @@ from repro.serve import (
     GraphQueryServer,
     ManualClock,
     NeighborsRequest,
+    ServerConfig,
     replay,
     synthetic_workload,
 )
@@ -76,11 +77,13 @@ def zipf_schedule(medium_standin):
 def _serve_wallclock(store, workload, *, batch, wait_us, cache_elements=0):
     server = GraphQueryServer(
         store,
-        cache_elements=cache_elements,
-        max_batch_size=batch,
-        max_wait_ns=wait_us * 1e3,
-        queue_capacity=1 << 16,
-        policy="block",
+        config=ServerConfig(
+            cache_elements=cache_elements,
+            max_batch_size=batch,
+            max_wait_ns=wait_us * 1e3,
+            queue_capacity=1 << 16,
+            policy="block",
+        ),
     )
     t0 = time.perf_counter()
     for _, request in workload:
@@ -143,7 +146,10 @@ def test_serving_replies_bit_exact_sample(packed, zipf_schedule):
     """Every reply of a served workload equals the direct engine answer."""
     engine = QueryEngine(packed)
     server = GraphQueryServer(
-        packed, max_batch_size=128, max_wait_ns=0.0, queue_capacity=1 << 16
+        packed,
+        config=ServerConfig(
+            max_batch_size=128, max_wait_ns=0.0, queue_capacity=1 << 16
+        ),
     )
     slots = [server.submit(req) for _, req in zipf_schedule(seed=43)[:2_000]]
     server.drain()
@@ -165,9 +171,11 @@ def test_batch_wait_latency_tradeoff(packed, zipf_schedule):
         clock = ManualClock()
         server = GraphQueryServer(
             packed,
-            max_batch_size=256,
-            max_wait_ns=wait_us * 1e3,
-            queue_capacity=1 << 16,
+            config=ServerConfig(
+                max_batch_size=256,
+                max_wait_ns=wait_us * 1e3,
+                queue_capacity=1 << 16,
+            ),
             clock=clock,
         )
         replay(server, zipf_schedule(mean_interarrival_ns=1_000.0, seed=31))

@@ -31,6 +31,7 @@ from . import (
     analysis,
     baselines,
     bitpack,
+    cluster,
     csr,
     datasets,
     disk,
@@ -43,6 +44,7 @@ from . import (
     stores,
     temporal,
 )
+from .cluster import Router, ShardWorker, build_cluster
 from .csr import (
     BitPackedCSR,
     CompactStore,
@@ -57,6 +59,7 @@ from .csr import (
 from .disk import DiskStore, build_disk_store, open_disk_store, write_disk_store
 from .errors import (
     AdmissionError,
+    ClusterError,
     CodecError,
     FieldOverflowError,
     FrameError,
@@ -81,7 +84,7 @@ from .reorder import (
     build_reordered_store,
     compute_ordering,
 )
-from .serve import GraphQueryServer
+from .serve import GraphQueryServer, ServerConfig, open_server
 from .shard import ShardedStore, build_sharded_store
 from .stores import available_stores, open_store, register_store
 from .temporal import EventList, TemporalCSR, build_tcsr
@@ -92,6 +95,7 @@ __all__ = [
     "analysis",
     "baselines",
     "bitpack",
+    "cluster",
     "csr",
     "datasets",
     "disk",
@@ -113,6 +117,7 @@ __all__ = [
     "read_edge_list",
     "write_edge_list",
     "AdmissionError",
+    "ClusterError",
     "CodecError",
     "FieldOverflowError",
     "FrameError",
@@ -128,6 +133,11 @@ __all__ = [
     "prefix_sum_parallel",
     "QueryEngine",
     "GraphQueryServer",
+    "ServerConfig",
+    "open_server",
+    "Router",
+    "ShardWorker",
+    "build_cluster",
     "ShardedStore",
     "build_sharded_store",
     "LsmStore",

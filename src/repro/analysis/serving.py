@@ -18,6 +18,8 @@ __all__ = [
     "render_serve_histograms",
     "render_serve_report",
     "render_lsm_stats",
+    "render_cluster_report",
+    "render_load_result",
 ]
 
 
@@ -112,3 +114,95 @@ def render_serve_report(snap, cache=None, *, title: str = "serving report") -> s
     if cache is not None:
         parts += ["", render_cache_stats(cache, title="row cache (serve path)")]
     return "\n".join(parts)
+
+
+def render_cluster_report(router, *, title: str = "cluster report") -> str:
+    """Where the scattered work landed, worker by worker.
+
+    Takes a :class:`~repro.cluster.Router` and renders its
+    :meth:`~repro.cluster.Router.cluster_stats`: a per-worker table
+    (shard, liveness, sub-batches, requests, busy time, hedge wins),
+    a per-shard dispatch table, the per-tenant completion counts, and
+    the router's hedging/retry/failure counters.
+    """
+    stats = router.cluster_stats()
+    worker_rows = [
+        [
+            w.worker_id,
+            w.shard_id,
+            "up" if w.alive else "down",
+            w.subs_served,
+            w.requests_served,
+            f"{w.busy_ns / 1e6:.3f}",
+            w.hedge_wins,
+        ]
+        for w in stats.per_worker
+    ]
+    parts = [
+        render_table(
+            ["worker", "shard", "state", "subs", "requests",
+             "busy (ms)", "hedge wins"],
+            worker_rows,
+            title=title,
+        ),
+        "",
+        render_table(
+            ["shard", "subs dispatched"],
+            [[s, c] for s, c in sorted(stats.per_shard.items())],
+            title="per-shard dispatch",
+        ),
+    ]
+    if stats.per_tenant:
+        parts += [
+            "",
+            render_table(
+                ["tenant", "completed"],
+                [[t, c] for t, c in sorted(stats.per_tenant.items())],
+                title="per-tenant completions",
+            ),
+        ]
+    parts += [
+        "",
+        render_table(
+            ["counter", "value"],
+            [
+                ["shards x replicas", f"{stats.shards} x {stats.replicas}"],
+                ["subs dispatched", stats.subs_dispatched],
+                ["hedges launched", stats.hedges_launched],
+                ["duplicate completions dropped", stats.duplicate_completions],
+                ["retries after failure", stats.retries],
+                ["failed requests", stats.failed_requests],
+                ["quota-rejected requests", stats.quota_rejected],
+            ],
+            title="router counters",
+        ),
+    ]
+    return "\n".join(parts)
+
+
+def render_load_result(result, *, title: str = "load run") -> str:
+    """One :class:`~repro.serve.loadgen.LoadResult` as a table.
+
+    Rates, completion breakdown, tail latencies, and — when the run
+    declared an :class:`~repro.serve.loadgen.SLO` — the verdict with
+    every violated bound spelled out.
+    """
+    rows = [
+        ["mode", result.mode],
+        ["requests", result.requests],
+        ["completed", result.completed],
+        ["rejected / shed / failed",
+         f"{result.rejected} / {result.shed} / {result.failed}"],
+        ["duration (virtual s)", f"{result.duration_s:.6f}"],
+        ["offered qps",
+         f"{result.offered_qps:,.0f}" if result.offered_qps else "closed"],
+        ["achieved qps", f"{result.achieved_qps:,.0f}"],
+    ]
+    for name, v in (("p50", result.p50_ms), ("p95", result.p95_ms),
+                    ("p99", result.p99_ms)):
+        rows.append([f"latency {name} (ms)",
+                     f"{v:.3f}" if v is not None else "-"])
+    if result.slo is not None:
+        rows.append(["slo", "met" if result.met
+                     else "; ".join(result.violations)])
+    return render_table(["field", "value"], rows, title=title)

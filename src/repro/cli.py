@@ -46,7 +46,7 @@ from .lsm import LsmStore
 from .parallel import SerialExecutor, SimulatedMachine
 from .reorder import ReorderedStore, available_orderings
 from .shard import PARTITIONER_KINDS, ShardedStore
-from .stores import open_store
+from .stores import load_store, open_store
 from .utils import human_bytes
 
 _BINARY_MAGIC = b"REPROEL1"
@@ -208,6 +208,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="lsm memtable entries that trigger compaction "
                        "mid-serve (0 = off; needs --write-fraction)")
     serve.add_argument("--seed", type=int, default=2023)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="cluster worker loops; > 1 serves through the "
+                       "replicated scatter-gather router (repro.cluster)")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="replica workers per shard (workers must be a "
+                       "multiple; shards = workers // replicas)")
+    serve.add_argument("--hedge-percentile", type=float, default=None,
+                       help="hedge straggling sub-requests past this "
+                       "service-time percentile (cluster mode; off by default)")
+    serve.add_argument("--offered-qps", type=float, default=20e6,
+                       help="open-loop offered rate for the cluster load "
+                       "harness (virtual time)")
+    serve.add_argument("--slo-p99-ms", type=float, default=5.0,
+                       help="declared p99 latency SLO for the cluster "
+                       "load harness (milliseconds)")
     _add_shard_flags(serve)
 
     rep = sub.add_parser("report", help="write the full reproduction report")
@@ -355,45 +370,9 @@ def _cmd_build(args) -> int:
     return 0
 
 
-_NPZ_LOADERS = {
-    "sharded": ShardedStore.load,
-    "compact": CompactStore.load,
-    "reordered": ReorderedStore.load,
-    "lsm": LsmStore.load,
-}
-
-
 def _load(path):
-    """Open a store: a disk-store directory or an ``.npz`` file.
-
-    Directories open through :func:`~repro.disk.open_disk_store`
-    (checksums verified, reordered stores re-wrapped); ``.npz`` files
-    dispatch on their ``store_kind`` key, falling back to packed-CSR
-    key sniffing.  A file matching no known kind raises a one-line
-    :class:`ReproError` naming the file and the kinds understood.
-    """
-    from .disk import open_disk_store
-
-    p = Path(path)
-    if p.is_dir():
-        return open_disk_store(p)
-    with np.load(p) as data:
-        files = set(data.files)
-        kind = str(data["store_kind"]) if "store_kind" in files else None
-    if kind is not None:
-        if kind not in _NPZ_LOADERS:
-            known = ", ".join(sorted(_NPZ_LOADERS))
-            raise ReproError(
-                f"{path}: unknown store kind '{kind}' (known kinds: {known})"
-            )
-        return _NPZ_LOADERS[kind](path)
-    if {"num_nodes", "offsets", "columns"} <= files:
-        return BitPackedCSR.load(path)
-    raise ReproError(
-        f"{path}: not a recognized store file (keys: {', '.join(sorted(files))}); "
-        "known kinds: packed CSR .npz, sharded/compact/reordered .npz, "
-        "disk-store directory"
-    )
+    """Open a store file/directory via :func:`repro.stores.load_store`."""
+    return load_store(path)
 
 
 def _reshard(store, args):
@@ -615,6 +594,19 @@ def _serve_store(args):
     return open_store("packed", src, dst, n, sort=True)
 
 
+def _serve_config(args, *, batch: int, wait_us: float):
+    """The :class:`ServerConfig` a serve-bench run asks for."""
+    from .serve import ServerConfig
+
+    return ServerConfig(
+        cache_elements=args.cache_elements,
+        max_batch_size=batch,
+        max_wait_ns=wait_us * 1e3,
+        queue_capacity=args.capacity,
+        policy=args.policy,
+    )
+
+
 def _run_serve(store, workload, args, *, batch: int, wait_us: float):
     """Serve *workload* as fast as it can be fed; returns (server, seconds)."""
     import time as _time
@@ -622,12 +614,7 @@ def _run_serve(store, workload, args, *, batch: int, wait_us: float):
     from .serve import GraphQueryServer
 
     server = GraphQueryServer(
-        store,
-        cache_elements=args.cache_elements,
-        max_batch_size=batch,
-        max_wait_ns=wait_us * 1e3,
-        queue_capacity=args.capacity,
-        policy=args.policy,
+        store, config=_serve_config(args, batch=batch, wait_us=wait_us)
     )
     t0 = _time.perf_counter()
     for _, request in workload:
@@ -636,11 +623,95 @@ def _run_serve(store, workload, args, *, batch: int, wait_us: float):
     return server, _time.perf_counter() - t0
 
 
+def _cmd_serve_bench_cluster(args) -> int:
+    """The cluster load harness: 1-worker vs N-worker scaling, SLO-gated."""
+    from .analysis.serving import render_cluster_report, render_load_result
+    from .analysis.tables import render_table
+    from .serve import SLO, ManualClock, ServerConfig, open_server, run_open_loop
+
+    if args.write_fraction > 0:
+        raise ReproError(
+            "cluster serving is read-only; drop --workers/--replicas "
+            "to bench mixed read/write traffic"
+        )
+    if args.input:
+        from .cluster import extract_edges
+
+        store = _load(args.input)
+        src, dst = extract_edges(store)
+        n = int(store.num_nodes)
+    else:
+        scale = max(1, int(np.ceil(np.log2(max(2, args.nodes)))))
+        src, dst, n = rmat_edges(
+            scale, args.edges, rng=np.random.default_rng(args.seed)
+        )
+    config = ServerConfig(
+        store_kind="packed",
+        edges=(src, dst, n),
+        workers=args.workers,
+        replicas=args.replicas,
+        partitioner=args.partitioner,
+        cluster=True,
+        cache_elements=args.cache_elements,
+        max_batch_size=args.batch,
+        max_wait_ns=args.wait_us * 1e3,
+        queue_capacity=args.capacity,
+        policy=args.policy,
+        hedge_percentile=args.hedge_percentile,
+    )
+    slo = SLO(p99_ms=args.slo_p99_ms)
+
+    def run(cfg):
+        router = open_server(cfg, clock=ManualClock())
+        result = run_open_loop(
+            router,
+            n_requests=args.requests,
+            num_nodes=n,
+            offered_qps=args.offered_qps,
+            kind=args.workload,
+            skew=args.skew,
+            edge_fraction=args.edge_fraction,
+            seed=args.seed,
+            slo=slo,
+        )
+        return router, result
+
+    base_router, base = run(config.with_overrides(workers=1, replicas=1))
+    router, scaled = run(config)
+    speedup = scaled.achieved_qps / max(base.achieved_qps, 1e-9)
+    print(f"cluster: {args.workers} workers x shard replicas "
+          f"{args.replicas} ({router.num_shards} shards), "
+          f"{len(src):,} edges, {n:,} nodes")
+    print(f"offered: {args.offered_qps:,.0f} qps open-loop "
+          f"({args.requests:,} {args.workload} requests, virtual time)")
+    print()
+    print(render_table(
+        ["workers", "qps", "p50 (ms)", "p95 (ms)", "p99 (ms)", "slo"],
+        [
+            [1, f"{base.achieved_qps:,.0f}", f"{base.p50_ms:.3f}",
+             f"{base.p95_ms:.3f}", f"{base.p99_ms:.3f}",
+             "met" if base.met else "MISS"],
+            [args.workers, f"{scaled.achieved_qps:,.0f}",
+             f"{scaled.p50_ms:.3f}", f"{scaled.p95_ms:.3f}",
+             f"{scaled.p99_ms:.3f}", "met" if scaled.met else "MISS"],
+        ],
+        title=f"cluster scaling ({speedup:.2f}x, "
+              f"SLO p99 <= {args.slo_p99_ms:g} ms)",
+    ))
+    print()
+    print(render_load_result(scaled, title=f"{args.workers}-worker load run"))
+    print()
+    print(render_cluster_report(router))
+    return 0
+
+
 def _cmd_serve_bench(args) -> int:
     from .analysis.serving import render_serve_report
     from .analysis.tables import render_table
     from .serve import synthetic_workload
 
+    if args.workers > 1 or args.replicas > 1:
+        return _cmd_serve_bench_cluster(args)
     store = _serve_store(args)
     # re-derive planted edges from the store itself so half the edge
     # queries hit regardless of where the graph came from

@@ -18,6 +18,7 @@ __all__ = [
     "QueryError",
     "FrameError",
     "AdmissionError",
+    "ClusterError",
 ]
 
 
@@ -72,4 +73,14 @@ class AdmissionError(ReproError):
     whose request was rejected at the queue boundary or shed from the
     queue under overload (the ``reject`` / ``shed-oldest`` policies of
     :class:`~repro.serve.AdmissionController`).
+    """
+
+
+class ClusterError(ReproError):
+    """The cluster router could not serve a scattered sub-request.
+
+    Raised (stored on the request's failed
+    :class:`~repro.serve.ReplySlot`) when every replica of the owning
+    shard is down after retries — one line naming the shard, the last
+    worker tried, and the attempt count, instead of a hung slot.
     """

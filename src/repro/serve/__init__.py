@@ -8,21 +8,33 @@ bounded-queue admission control (:mod:`~repro.serve.admission`), the
 :class:`GraphQueryServer` gluing them to a
 :class:`~repro.query.engine.QueryEngine`
 (:mod:`~repro.serve.server`), serve-side metrics
-(:mod:`~repro.serve.metrics`), and seeded open-loop workload
-generation (:mod:`~repro.serve.workload`).
+(:mod:`~repro.serve.metrics`), seeded open-loop workload generation
+(:mod:`~repro.serve.workload`), and the SLO load harness
+(:mod:`~repro.serve.loadgen`).
+
+Construction goes through :class:`ServerConfig` + :func:`open_server`
+(:mod:`~repro.serve.config`) — the serving twin of
+:func:`repro.open_store` — which returns a single
+:class:`GraphQueryServer` or, when the config names cluster options,
+a replicated scatter-gather :class:`~repro.cluster.Router`.
 """
 
 from .admission import POLICIES, AdmissionController, AdmissionStats
 from .coalescer import BatchPlan, MicroBatch, MicroBatchCoalescer
+from .config import ServerConfig, open_server
+from .loadgen import SLO, LoadResult, run_closed_loop, run_open_loop
 from .metrics import ServeMetrics, ServeSnapshot, log2_histogram, quantiles
 from .request import (
+    DEFAULT_TENANT,
     DONE,
+    FAILED,
     PENDING,
     REJECTED,
     SHED,
     EdgeRequest,
     ManualClock,
     NeighborsRequest,
+    ReadRequest,
     ReplySlot,
     Request,
     WriteRequest,
@@ -37,21 +49,30 @@ __all__ = [
     "BatchPlan",
     "MicroBatch",
     "MicroBatchCoalescer",
+    "ServerConfig",
+    "open_server",
     "ServeMetrics",
     "ServeSnapshot",
     "log2_histogram",
     "quantiles",
     "Request",
+    "ReadRequest",
     "NeighborsRequest",
     "EdgeRequest",
     "WriteRequest",
     "ReplySlot",
     "ManualClock",
+    "DEFAULT_TENANT",
     "PENDING",
     "DONE",
     "REJECTED",
     "SHED",
+    "FAILED",
     "GraphQueryServer",
+    "SLO",
+    "LoadResult",
+    "run_open_loop",
+    "run_closed_loop",
     "synthetic_workload",
     "zipf_nodes",
     "replay",

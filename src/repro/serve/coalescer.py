@@ -157,6 +157,19 @@ class MicroBatchCoalescer:
         """Requests queued and not yet closed into a batch."""
         return len(self._fifo)
 
+    @property
+    def next_close_ns(self) -> float | None:
+        """Clock time at which the oldest queued request's wait window
+        expires (``None`` with an empty queue) — the wakeup a
+        virtual-time driver must pump at to avoid stalling a partial
+        batch."""
+        if not self._fifo:
+            return None
+        oldest = self._fifo[0].enqueue_ns
+        if oldest is None:  # pragma: no cover - offers always stamped
+            return None
+        return float(oldest) + self.max_wait_ns
+
     def offer(self, request: Request) -> None:
         """Append one admitted request to the FIFO (never closes here;
         callers :meth:`poll` right after, so size closure happens at
@@ -181,7 +194,10 @@ class MicroBatchCoalescer:
         if len(self._fifo) >= self.max_batch_size:
             return self._close(self.max_batch_size, "size", now)
         oldest = self._fifo[0].enqueue_ns
-        if oldest is not None and now - oldest >= self.max_wait_ns:
+        # compare against the same `oldest + max_wait_ns` expression
+        # next_close_ns advertises: `now - oldest >= max_wait_ns` can
+        # round the other way, leaving a wakeup that never fires
+        if oldest is not None and now >= oldest + self.max_wait_ns:
             # analytic close time: independent of when the poll ran
             return self._close(len(self._fifo), "window", oldest + self.max_wait_ns)
         return None

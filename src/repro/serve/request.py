@@ -12,15 +12,25 @@ demuxed).  Latency accounting and the coalescer's wait-window maths
 both read these stamps, so the clock is injectable everywhere
 (:class:`ManualClock` makes every test deterministic).
 
+Requests form a small hierarchy — :class:`ReadRequest`
+(:class:`NeighborsRequest`, :class:`EdgeRequest`) vs
+:class:`WriteRequest` — and every request names its **tenant**
+(:data:`DEFAULT_TENANT` unless set), so the cluster router's admission
+quotas and per-tenant metrics key off the request itself rather than
+isinstance probing at every layer; ``Request.kind`` tags the concrete
+query type for the same reason.
+
 The caller's handle is a :class:`ReplySlot` — a synchronous
 future-like cell resolved exactly once, whether the request completed,
-was rejected at the queue boundary, or was shed under overload.
+was rejected at the queue boundary, was shed under overload, or failed
+inside the cluster (every replica of its shard down).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 import numpy as np
 
@@ -29,15 +39,18 @@ from ..utils import require
 
 __all__ = [
     "Request",
+    "ReadRequest",
     "NeighborsRequest",
     "EdgeRequest",
     "WriteRequest",
     "ReplySlot",
     "ManualClock",
+    "DEFAULT_TENANT",
     "PENDING",
     "DONE",
     "REJECTED",
     "SHED",
+    "FAILED",
 ]
 
 #: Terminal and non-terminal reply states (strings, compared by value).
@@ -45,19 +58,31 @@ PENDING = "pending"
 DONE = "done"
 REJECTED = "rejected"
 SHED = "shed"
+FAILED = "failed"
 
-_TERMINAL = frozenset({DONE, REJECTED, SHED})
+_TERMINAL = frozenset({DONE, REJECTED, SHED, FAILED})
+
+#: The tenant a request belongs to unless the caller sets one.
+DEFAULT_TENANT = "default"
 
 
 @dataclass(slots=True)
 class Request:
-    """Base envelope: ticket id plus lifecycle timestamps.
+    """Base envelope: ticket id, tenant, and lifecycle timestamps.
 
     ``ticket`` is ``-1`` until the server assigns one at submit time;
     the timestamps stay ``None`` until the corresponding lifecycle
     event stamps them (all on the server's injectable clock).
+    ``tenant`` identifies whose traffic this is — the cluster router
+    enforces per-tenant admission quotas and breaks metrics down by it.
+    ``kind`` is a class-level tag (``"neighbors"`` / ``"edge"`` /
+    ``"write"``) so dispatch layers can route without isinstance
+    probes.
     """
 
+    kind: ClassVar[str] = "abstract"
+
+    tenant: str = field(default=DEFAULT_TENANT, kw_only=True)
     ticket: int = field(default=-1, init=False)
     enqueue_ns: float | None = field(default=None, init=False)
     dispatch_ns: float | None = field(default=None, init=False)
@@ -79,8 +104,20 @@ class Request:
 
 
 @dataclass(slots=True)
-class NeighborsRequest(Request):
+class ReadRequest(Request):
+    """Base of the read-side hierarchy (coalesceable point queries).
+
+    The router fans these out across shard replicas; writes take the
+    separate :class:`WriteRequest` path.  Concrete kinds are
+    :class:`NeighborsRequest` and :class:`EdgeRequest`.
+    """
+
+
+@dataclass(slots=True)
+class NeighborsRequest(ReadRequest):
     """One Algorithm 6 query: the neighbour row of ``node``."""
+
+    kind: ClassVar[str] = "neighbors"
 
     node: int = 0
 
@@ -91,8 +128,10 @@ class NeighborsRequest(Request):
 
 
 @dataclass(slots=True)
-class EdgeRequest(Request):
+class EdgeRequest(ReadRequest):
     """One Algorithm 7 query: does the edge ``(u, v)`` exist?"""
+
+    kind: ClassVar[str] = "edge"
 
     u: int = 0
     v: int = 0
@@ -114,6 +153,8 @@ class WriteRequest(Request):
     a write always observe it.
     """
 
+    kind: ClassVar[str] = "write"
+
     op: str = "insert"
     u: int = 0
     v: int = 0
@@ -128,21 +169,25 @@ class WriteRequest(Request):
 class ReplySlot:
     """Synchronous future-like handle for one submitted request.
 
-    The server resolves every slot exactly once into one of three
+    The server resolves every slot exactly once into one of four
     terminal states: :data:`DONE` (carrying the query result),
-    :data:`REJECTED` (refused at the queue boundary), or :data:`SHED`
-    (admitted, then evicted under overload before dispatch).  Reading
+    :data:`REJECTED` (refused at the queue boundary), :data:`SHED`
+    (admitted, then evicted under overload before dispatch), or
+    :data:`FAILED` (the cluster router could not serve it — every
+    replica of its shard down — carrying the error).  Reading
     :meth:`result` on a refused slot raises
-    :class:`~repro.errors.AdmissionError`; reading it before
-    resolution raises :class:`~repro.errors.ValidationError`.
+    :class:`~repro.errors.AdmissionError`; on a failed slot it raises
+    the stored error; reading it before resolution raises
+    :class:`~repro.errors.ValidationError`.
     """
 
-    __slots__ = ("request", "status", "_value")
+    __slots__ = ("request", "status", "_value", "error")
 
     def __init__(self, request: Request):
         self.request = request
         self.status = PENDING
         self._value = None
+        self.error: Exception | None = None
 
     @property
     def ready(self) -> bool:
@@ -153,8 +198,9 @@ class ReplySlot:
         """The query result (row array or edge bool).
 
         Raises :class:`~repro.errors.AdmissionError` when the request
-        was rejected or shed, :class:`~repro.errors.ValidationError`
-        while still pending.
+        was rejected or shed, the stored :class:`~repro.errors.ReproError`
+        when it failed in the cluster, and
+        :class:`~repro.errors.ValidationError` while still pending.
         """
         if self.status == DONE:
             return self._value
@@ -163,6 +209,8 @@ class ReplySlot:
                 f"request ticket={self.request.ticket} was {self.status} "
                 "by admission control"
             )
+        if self.status == FAILED:
+            raise self.error
         raise ValidationError(
             f"request ticket={self.request.ticket} has no reply yet"
         )
@@ -176,6 +224,10 @@ class ReplySlot:
             )
         self.status = status
         self._value = value
+
+    def _fail(self, error: Exception) -> None:
+        self._resolve(FAILED)
+        self.error = error
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         shape = (

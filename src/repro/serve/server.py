@@ -26,6 +26,7 @@ threaded front-end would have.
 from __future__ import annotations
 
 import time
+import warnings
 
 from ..errors import QueryError, ValidationError
 from ..parallel.machine import Executor
@@ -37,12 +38,12 @@ from ..utils import require
 from .admission import AdmissionController
 from .coalescer import MicroBatch, MicroBatchCoalescer
 from .metrics import ServeMetrics, ServeSnapshot
+from .config import LEGACY_SERVER_KWARGS, ServerConfig, server_config_from_kwargs
 from .request import (
     DONE,
     REJECTED,
     SHED,
-    EdgeRequest,
-    NeighborsRequest,
+    ReadRequest,
     ReplySlot,
     Request,
     WriteRequest,
@@ -62,22 +63,21 @@ class GraphQueryServer:
         baselines, or an already-wrapped :class:`RowCache`).
     executor:
         Where batches run; defaults to the engine's serial executor.
-    cache_elements:
-        When positive, wrap *store* in a :class:`RowCache` of that many
-        decoded elements (ignored if *store* already is one).
-    max_batch_size / max_wait_ns:
-        Coalescer bounds — see
-        :class:`~repro.serve.coalescer.MicroBatchCoalescer`.
-    queue_capacity / policy:
-        Admission bounds — see
-        :class:`~repro.serve.admission.AdmissionController`.
-    edge_method:
-        Membership method for edge batches (Algorithm 7's ``scan`` or
-        the ``bisect`` extension).
+    config:
+        A :class:`~repro.serve.config.ServerConfig` carrying every
+        serving knob (cache elements, coalescer bounds, admission
+        bounds, edge method) — the construction path
+        :func:`~repro.serve.config.open_server` uses.
     clock:
         Nanosecond monotonic clock for every lifecycle stamp;
         injectable (:class:`~repro.serve.request.ManualClock`) for
         deterministic tests and virtual-time latency studies.
+    **legacy:
+        The pre-``ServerConfig`` keyword arguments (``cache_elements``,
+        ``max_batch_size``, ``max_wait_ns``, ``queue_capacity``,
+        ``policy``, ``edge_method``).  Still honoured for one release
+        with a ``DeprecationWarning``; move to
+        ``open_server(ServerConfig(...))``.
     """
 
     def __init__(
@@ -85,23 +85,43 @@ class GraphQueryServer:
         store,
         executor: Executor | None = None,
         *,
-        cache_elements: int = 0,
-        max_batch_size: int = 64,
-        max_wait_ns: float = 1_000_000.0,
-        queue_capacity: int = 4096,
-        policy: str = "reject",
-        edge_method: Method = "scan",
+        config: ServerConfig | None = None,
         clock=default_clock,
+        **legacy,
     ):
-        if cache_elements and not isinstance(store, RowCache):
-            store = RowCache(store, capacity=cache_elements)
+        if legacy:
+            if config is not None:
+                raise ValidationError(
+                    "pass either config= or legacy keyword arguments, "
+                    "not both"
+                )
+            unknown = sorted(set(legacy) - set(LEGACY_SERVER_KWARGS))
+            if unknown:
+                raise TypeError(
+                    f"GraphQueryServer got unexpected keyword argument(s) "
+                    f"{', '.join(unknown)}"
+                )
+            warnings.warn(
+                "GraphQueryServer(store, **kwargs) is deprecated; build a "
+                "repro.serve.ServerConfig and call open_server(config) "
+                "(or pass config= here) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = server_config_from_kwargs(**legacy)
+        elif config is None:
+            config = ServerConfig()
+        self.config = config
+        if config.cache_elements and not isinstance(store, RowCache):
+            store = RowCache(store, capacity=config.cache_elements)
         self.engine = QueryEngine(store, executor)
-        self.edge_method: Method = edge_method
+        self.edge_method: Method = config.edge_method
         self._clock = clock
         self.coalescer = MicroBatchCoalescer(
-            max_batch_size, max_wait_ns, clock=clock
+            config.max_batch_size, config.max_wait_ns, clock=clock
         )
-        self.admission = AdmissionController(queue_capacity, policy)
+        self.admission = AdmissionController(config.queue_capacity,
+                                             config.policy)
         self.metrics = ServeMetrics()
         self._slots: dict[int, ReplySlot] = {}
         self._next_ticket = 0
@@ -133,7 +153,9 @@ class GraphQueryServer:
         closed a batch (by size, by an expired window, or by the
         ``block`` policy draining to make room).
         """
-        if not isinstance(request, (NeighborsRequest, EdgeRequest, WriteRequest)):
+        if not isinstance(request, (ReadRequest, WriteRequest)) or (
+            type(request) is ReadRequest
+        ):
             raise ValidationError(
                 f"unsupported request type {type(request).__name__}"
             )
@@ -216,6 +238,14 @@ class GraphQueryServer:
             self._dispatch(batch)
             served += 1
         return served
+
+    def next_wakeup_ns(self) -> float | None:
+        """Earliest clock time at which :meth:`pump` would have work —
+        the oldest queued request's window expiry (``None`` when the
+        queue is empty).  Virtual-time drivers (the closed-loop load
+        harness, the cluster router) advance their clock here instead
+        of polling."""
+        return self.coalescer.next_close_ns
 
     def drain(self) -> int:
         """Flush and serve everything still queued (shutdown path);

@@ -29,6 +29,7 @@ __all__ = [
     "available_stores",
     "inner_store_spec",
     "open_store",
+    "load_store",
 ]
 
 
@@ -105,6 +106,74 @@ def open_store(kind: str, sources, destinations, n: int, **opts):
     ``executor=`` and ``sort=``.
     """
     return get_store_spec(kind).builder(sources, destinations, n, **opts)
+
+
+def load_store(path):
+    """Open a saved store: a disk-store directory or an ``.npz`` file.
+
+    The load-side twin of :func:`open_store`, shared by the CLI and
+    :class:`~repro.serve.config.ServerConfig`.  Directories open
+    through :func:`~repro.disk.open_disk_store` (checksums verified,
+    reordered stores re-wrapped); ``.npz`` files dispatch on their
+    ``store_kind`` key, falling back to packed-CSR key sniffing.  A
+    file matching no known kind raises a one-line
+    :class:`~repro.errors.ReproError` naming the file and the kinds
+    understood.
+    """
+    from pathlib import Path
+
+    import numpy as np
+
+    from .errors import ReproError
+
+    p = Path(path)
+    if p.is_dir():
+        from .disk import open_disk_store
+
+        return open_disk_store(p)
+    import zipfile
+
+    try:
+        with np.load(p) as data:
+            files = set(data.files)
+            kind = str(data["store_kind"]) if "store_kind" in files else None
+    except (ValueError, zipfile.BadZipFile) as exc:
+        raise ReproError(
+            f"{path}: not a loadable store file ({exc})"
+        ) from exc
+    if kind is not None:
+        loaders = _npz_loaders()
+        if kind not in loaders:
+            known = ", ".join(sorted(loaders))
+            raise ReproError(
+                f"{path}: unknown store kind '{kind}' (known kinds: {known})"
+            )
+        return loaders[kind](path)
+    if {"num_nodes", "offsets", "columns"} <= files:
+        from .csr.packed import BitPackedCSR
+
+        return BitPackedCSR.load(path)
+    raise ReproError(
+        f"{path}: not a recognized store file (keys: {', '.join(sorted(files))}); "
+        "known kinds: packed CSR .npz, sharded/compact/reordered/lsm .npz, "
+        "disk-store directory"
+    )
+
+
+def _npz_loaders():
+    """Kind-tagged ``.npz`` loaders (imported lazily; composite stores
+    pull in their whole subpackage)."""
+    from .csr.compact import CompactStore
+    from .lsm import LsmStore
+    from .reorder import ReorderedStore
+    from .shard import ShardedStore
+
+    return {
+        "sharded": ShardedStore.load,
+        "compact": CompactStore.load,
+        "reordered": ReorderedStore.load,
+        "lsm": LsmStore.load,
+    }
 
 
 # ----------------------------------------------------------------------

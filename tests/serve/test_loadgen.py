@@ -1,0 +1,119 @@
+"""The SLO load harness: open/closed loops in virtual time.
+
+Both loops must complete every request (at friendly queue capacities),
+report rates and tails consistent with the server's own accounting,
+name each violated SLO bound, and drive a cluster router exactly the
+way they drive a monolithic server.
+"""
+
+import numpy as np
+import pytest
+
+from repro.csr.builder import build_csr_serial
+from repro.csr.packed import BitPackedCSR
+from repro.errors import ValidationError
+from repro.serve import (
+    SLO,
+    GraphQueryServer,
+    LoadResult,
+    ManualClock,
+    ServerConfig,
+    open_server,
+    run_closed_loop,
+    run_open_loop,
+)
+
+
+@pytest.fixture
+def edges(rng):
+    n, m = 64, 600
+    src = np.sort(rng.integers(0, n, m))
+    dst = rng.integers(0, n, m)
+    return src, dst, n
+
+
+def _server(edges, **knobs):
+    src, dst, n = edges
+    knobs.setdefault("max_batch_size", 16)
+    knobs.setdefault("max_wait_ns", 2_000.0)
+    knobs.setdefault("queue_capacity", 1 << 16)
+    return open_server(
+        ServerConfig(store_kind="packed", edges=(src, dst, n), **knobs),
+        clock=ManualClock(),
+    )
+
+
+class TestOpenLoop:
+    def test_completes_everything_and_reports_tails(self, edges):
+        result = run_open_loop(_server(edges), n_requests=300,
+                               offered_qps=1e6)
+        assert isinstance(result, LoadResult)
+        assert result.mode == "open-loop"
+        assert result.requests == 300
+        assert result.completed == 300
+        assert result.rejected == result.shed == result.failed == 0
+        assert result.offered_qps == 1e6
+        assert result.achieved_qps > 0
+        assert result.p50_ms <= result.p95_ms <= result.p99_ms
+        assert result.duration_s > 0
+
+    def test_slo_violations_are_named(self, edges):
+        impossible = SLO(p99_ms=1e-9, min_qps=1e15)
+        result = run_open_loop(_server(edges), n_requests=200,
+                               offered_qps=1e6, slo=impossible)
+        assert not result.met
+        assert len(result.violations) == 2
+        assert any("p99" in v for v in result.violations)
+        assert any("qps" in v for v in result.violations)
+        assert "qps" in result.describe()
+
+    def test_generous_slo_is_met(self, edges):
+        result = run_open_loop(_server(edges), n_requests=200,
+                               offered_qps=1e6,
+                               slo=SLO(p99_ms=1e9, min_qps=1.0))
+        assert result.met
+        assert result.violations == ()
+
+    def test_same_seed_same_result(self, edges):
+        a = run_open_loop(_server(edges), n_requests=200, offered_qps=2e6,
+                          seed=42)
+        b = run_open_loop(_server(edges), n_requests=200, offered_qps=2e6,
+                          seed=42)
+        assert a == b  # virtual time makes the whole run deterministic
+
+    def test_drives_cluster_router(self, edges):
+        router = _server(edges, workers=4, replicas=2)
+        result = run_open_loop(router, n_requests=400, offered_qps=5e6)
+        assert result.completed == 400
+        assert router.snapshot().completed == 400
+        stats = router.cluster_stats()
+        assert sum(w.requests_served for w in stats.per_worker) > 0
+
+    def test_requires_manual_clock(self, edges):
+        src, dst, n = edges
+        store = BitPackedCSR.from_csr(build_csr_serial(src, dst, n))
+        wall_server = GraphQueryServer(store)  # production wall clock
+        with pytest.raises(ValidationError, match="ManualClock"):
+            run_open_loop(wall_server, n_requests=10)
+
+
+class TestClosedLoop:
+    def test_completes_everything(self, edges):
+        result = run_closed_loop(_server(edges), clients=8, n_requests=200)
+        assert result.mode == "closed-loop"
+        assert result.requests == 200
+        assert result.completed == 200
+        assert result.offered_qps is None
+        assert result.achieved_qps > 0
+
+    def test_think_time_lowers_throughput(self, edges):
+        busy = run_closed_loop(_server(edges), clients=4, n_requests=150)
+        idle = run_closed_loop(_server(edges), clients=4, n_requests=150,
+                               think_ns=1e6)
+        assert idle.achieved_qps < busy.achieved_qps
+
+    def test_drives_cluster_router(self, edges):
+        router = _server(edges, workers=2, replicas=2)
+        result = run_closed_loop(router, clients=16, n_requests=300)
+        assert result.completed == 300
+        assert router.snapshot().completed == 300

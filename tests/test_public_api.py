@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.datasets",
     "repro.analysis",
     "repro.serve",
+    "repro.cluster",
 ]
 
 
