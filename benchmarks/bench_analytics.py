@@ -1,0 +1,191 @@
+"""Analytics jobs: simulated speed-up curves and serve coexistence.
+
+Two gates on the :mod:`repro.algorithms` job layer:
+
+* **Scaling** — every registered algorithm, run on the charged
+  :class:`SimulatedMachine`, must speed up by at least
+  ``SPEEDUP_FLOOR`` going from 1 to 4 processors (bfs/pagerank on the
+  pokec stand-in, triangles on a bounded-degree ER graph — the exact
+  wedge scan is quadratic in degree, so power-law hubs are out of
+  reach for an *exact* count at bench scale).
+* **Coexistence** — a bfs job time-sliced through
+  :meth:`GraphQueryServer.pump` must finish bit-exactly while point
+  queries keep flowing, and the client-observed wall p99 of a
+  submit+pump round-trip may degrade by at most ``P99_DEGRADE_CAP``x
+  versus a job-free server (each pump grants the job one
+  ``job_slice_steps`` slice, so the bound *is* the slice size knob).
+
+The baseline is recorded in ``BENCH_analytics.json`` under
+``BENCH_WRITE_BASELINE=1``.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import open_store
+from repro.algorithms import make_stepper
+from repro.analysis.speedup import SpeedupCurve
+from repro.analysis.tables import render_series, render_table
+from repro.csr.traversal import bfs_levels
+from repro.datasets import er_edges
+from repro.parallel import SimulatedMachine
+from repro.serve import (
+    DONE,
+    AnalyticsRequest,
+    NeighborsRequest,
+    ServerConfig,
+    open_server,
+)
+
+from conftest import report
+
+PROCESSORS = (1, 2, 4)
+SPEEDUP_FLOOR = 1.5  # T_1 / T_4, per algorithm
+P99_DEGRADE_CAP = 50.0  # client-observed p99, job vs no-job server
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_analytics.json"
+
+
+@pytest.fixture(scope="module")
+def pokec_edges(medium_standin):
+    ds = medium_standin
+    pairs = np.unique(np.stack(
+        [ds.sources.astype(np.int64), ds.destinations.astype(np.int64)], 1
+    ), axis=0)
+    return pairs[:, 0], pairs[:, 1], ds.num_nodes
+
+
+@pytest.fixture(scope="module")
+def pokec_packed(pokec_edges):
+    src, dst, n = pokec_edges
+    return open_store("packed", src, dst, n, sort=True)
+
+
+@pytest.fixture(scope="module")
+def er_packed():
+    src, dst, n = er_edges(4_000, 40_000, rng=np.random.default_rng(17))
+    return open_store("packed", src, dst, n, sort=True)
+
+
+def _curve(name: str, store, **params) -> SpeedupCurve:
+    times = {}
+    for p in PROCESSORS:
+        machine = SimulatedMachine(p)
+        make_stepper(name, store, machine, **params).run()
+        times[p] = machine.elapsed_ms()
+    return SpeedupCurve(name, times)
+
+
+def _merge_baseline(section: str, payload: dict) -> None:
+    if os.environ.get("BENCH_WRITE_BASELINE") or not BASELINE_PATH.exists():
+        existing = (
+            json.loads(BASELINE_PATH.read_text())
+            if BASELINE_PATH.exists()
+            else {}
+        )
+        existing[section] = payload
+        BASELINE_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+
+
+def test_analytics_speedup_curves(benchmark, pokec_packed, er_packed):
+    def sweep():
+        hub = int(np.argmax(
+            np.diff(pokec_packed.to_csr().indptr)
+        ))
+        return {
+            "bfs": _curve("bfs", pokec_packed, source=hub),
+            "pagerank": _curve("pagerank", pokec_packed, max_iter=5),
+            "triangles": _curve("triangles", er_packed),
+        }
+
+    curves = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    ratios = {name: c.ratios()[4] for name, c in curves.items()}
+    for name, ratio in ratios.items():
+        assert ratio >= SPEEDUP_FLOOR, (
+            f"{name}: only {ratio:.2f}x from 1 to 4 simulated processors"
+        )
+    report(
+        "Analytics jobs: simulated ms vs processors (floor "
+        f"{SPEEDUP_FLOOR}x at p=4)",
+        render_series(
+            "algorithm",
+            {name: dict(sorted(c.times_ms.items()))
+             for name, c in curves.items()},
+        ),
+    )
+    _merge_baseline("speedup", {
+        "processors": list(PROCESSORS),
+        "floor": SPEEDUP_FLOOR,
+        "ratio_at_4": {k: round(v, 3) for k, v in ratios.items()},
+        "times_ms": {
+            name: {str(p): round(t, 4) for p, t in sorted(c.times_ms.items())}
+            for name, c in curves.items()
+        },
+    })
+
+
+def _client_p99_ms(server, nodes, job=None) -> float:
+    """Wall p99 (ms) of a synchronous submit+pump round-trip per node.
+
+    With *job* active, each pump also grants the job one slice — the
+    client-observed latency is exactly what a caller polling the
+    server's loop sees while analytics share it.
+    """
+    lat = []
+    for u in nodes:
+        t0 = time.perf_counter()
+        slot = server.submit(NeighborsRequest(node=int(u)))
+        server.pump()
+        assert slot.status == DONE
+        lat.append(time.perf_counter() - t0)
+        if job is not None and job.ready:
+            break
+    return float(np.percentile(np.array(lat) * 1e3, 99))
+
+
+def test_job_coexists_with_serving(pokec_edges, pokec_packed):
+    src, dst, n = pokec_edges
+    hub = int(np.argmax(np.diff(pokec_packed.to_csr().indptr)))
+    ref = bfs_levels(open_store("csr-serial", src, dst, n), hub)
+    nodes = np.random.default_rng(23).integers(0, n, 6_000)
+
+    def make_server():
+        return open_server(ServerConfig(
+            store=pokec_packed, max_batch_size=1, job_slice_steps=1,
+        ))
+
+    alone = _client_p99_ms(make_server(), nodes[:1_500])
+
+    server = make_server()
+    job = server.submit_job(AnalyticsRequest(
+        algorithm="bfs", params={"source": hub, "slice_nodes": 256},
+    ))
+    mixed = _client_p99_ms(server, nodes, job=job)
+    server.drain()  # finish the job if point traffic outlasted it
+
+    assert job.status == DONE
+    assert np.array_equal(job.result().value, ref)  # bit-exact under slicing
+    factor = mixed / max(alone, 1e-9)
+    assert factor <= P99_DEGRADE_CAP, (
+        f"p99 degraded {factor:.1f}x with a job sharing the pump "
+        f"(cap {P99_DEGRADE_CAP}x)"
+    )
+    report(
+        "Analytics + serving coexistence (wall clock)",
+        render_table(
+            ["mode", "client p99 (ms)"],
+            [["serve only", round(alone, 4)],
+             ["serve + bfs job", round(mixed, 4)],
+             ["degradation", f"{factor:.2f}x (cap {P99_DEGRADE_CAP:.0f}x)"]],
+        ),
+    )
+    _merge_baseline("coexistence", {
+        "p99_ms_alone": round(alone, 4),
+        "p99_ms_with_job": round(mixed, 4),
+        "degradation_factor": round(factor, 3),
+        "cap": P99_DEGRADE_CAP,
+    })

@@ -10,6 +10,11 @@ Public surface, by paper section:
   :class:`EventList`, :func:`build_tcsr`, :class:`TemporalCSR`.
 * Section V (parallel queries): :class:`QueryEngine`, served at
   scale through :class:`GraphQueryServer` (:mod:`repro.serve`).
+* Whole-graph analytics (:mod:`repro.algorithms`): store-generic BFS,
+  PageRank, and triangle counting as resumable steppers —
+  :func:`repro.algorithms.run` for one-shot use, or submitted as
+  time-sliced jobs to a live server via
+  :class:`~repro.serve.AnalyticsRequest`.
 * Section VI (evaluation harness): :mod:`repro.analysis`,
   :mod:`repro.datasets`, :mod:`repro.baselines`.
 * Executors: :class:`SerialExecutor`, :class:`ThreadExecutor`, and the
@@ -28,6 +33,7 @@ Public surface, by paper section:
 """
 
 from . import (
+    algorithms,
     analysis,
     baselines,
     bitpack,
@@ -44,6 +50,7 @@ from . import (
     stores,
     temporal,
 )
+from .algorithms import available_algorithms, register_algorithm
 from .cluster import Router, ShardWorker, build_cluster
 from .csr import (
     BitPackedCSR,
@@ -92,6 +99,7 @@ from .temporal import EventList, TemporalCSR, build_tcsr
 __version__ = "1.0.0"
 
 __all__ = [
+    "algorithms",
     "analysis",
     "baselines",
     "bitpack",
@@ -153,6 +161,8 @@ __all__ = [
     "available_stores",
     "open_store",
     "register_store",
+    "available_algorithms",
+    "register_algorithm",
     "EventList",
     "TemporalCSR",
     "build_tcsr",

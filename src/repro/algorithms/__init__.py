@@ -1,0 +1,46 @@
+"""Store-generic full-graph analytics (ROADMAP item 4).
+
+Frontier BFS, push-style PageRank, and exact triangle counting, all
+written against the generic :class:`~repro.query.stores.GraphStore`
+surface through the capabilities layer — one engine runs over every
+registered store kind (packed, compact, disk, sharded, lsm, ...) and
+charges its work to any executor, so the
+:class:`~repro.parallel.SimulatedMachine` reports speed-up curves per
+algorithm per store.
+
+Two ways in:
+
+* the batch facade — :func:`run` / :func:`available_algorithms`,
+  mirroring :func:`repro.open_store`;
+* the incremental stepper — :func:`make_stepper` returns an
+  :class:`AlgorithmStepper` whose bounded :meth:`~AlgorithmStepper.step`
+  slices are what the serve layer's analytics jobs interleave with
+  live point-query traffic (see :mod:`repro.serve`).
+"""
+
+from .base import AlgorithmResult, AlgorithmStepper
+from .bfs import BfsJob
+from .pagerank import PageRankJob
+from .registry import (
+    AlgorithmSpec,
+    available_algorithms,
+    get_algorithm_spec,
+    make_stepper,
+    register_algorithm,
+    run,
+)
+from .triangles import TriangleCountJob
+
+__all__ = [
+    "AlgorithmResult",
+    "AlgorithmStepper",
+    "AlgorithmSpec",
+    "BfsJob",
+    "PageRankJob",
+    "TriangleCountJob",
+    "available_algorithms",
+    "get_algorithm_spec",
+    "make_stepper",
+    "register_algorithm",
+    "run",
+]

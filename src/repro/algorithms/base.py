@@ -1,0 +1,129 @@
+"""The stepper protocol every analytics algorithm implements.
+
+Full-graph analytics (BFS, PageRank, triangle counting) run for many
+bulk-synchronous rounds over the whole store, so they cannot execute
+inside one serve dispatch the way a point query does.  Instead each
+algorithm is an :class:`AlgorithmStepper`: a resumable computation
+whose :meth:`~AlgorithmStepper.step` performs one *bounded* slice of
+work (a few thousand frontier nodes, one row-range sweep, one wedge
+batch) and reports whether the algorithm has finished.  A batch caller
+loops ``run()``; the serve layer instead interleaves single steps
+between micro-batches of point queries, which is what lets offline
+analytics and online serving coexist on one store with the serve p99
+bounded (DESIGN.md §12).
+
+Every stepper runs against the generic
+:class:`~repro.query.stores.GraphStore` surface through the
+capabilities layer — no algorithm imports a concrete store type — and
+charges its work to the executor exactly like the query kernels do, so
+a :class:`~repro.parallel.SimulatedMachine` produces honest speed-up
+curves for any store kind.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Mapping
+
+from ..errors import ValidationError
+from ..parallel.machine import Executor, SerialExecutor
+from ..query.capabilities import capabilities
+
+__all__ = ["AlgorithmResult", "AlgorithmStepper"]
+
+
+@dataclass(frozen=True)
+class AlgorithmResult:
+    """The terminal output of one analytics run.
+
+    ``value`` is the algorithm's payload (levels array, rank vector,
+    triangle count), ``rounds`` the number of bulk-synchronous rounds
+    it took (BFS levels, PageRank sweeps, wedge batches), ``converged``
+    whether the algorithm reached its own stopping rule rather than an
+    iteration cap, and ``stats`` small algorithm-specific counters
+    (frontier mode mix, final delta, wedges checked).
+    """
+
+    name: str
+    value: Any
+    rounds: int
+    converged: bool = True
+    stats: Mapping[str, Any] = field(default_factory=dict)
+
+
+class AlgorithmStepper(abc.ABC):
+    """A resumable, slice-at-a-time analytics computation.
+
+    Subclasses validate their parameters in ``__init__`` and implement
+    :meth:`_advance` — one bounded slice of work, calling
+    :meth:`_finish` when the algorithm completes.  ``store`` may be any
+    :class:`~repro.query.stores.GraphStore`; ``executor`` defaults to a
+    :class:`~repro.parallel.SerialExecutor` and receives every parallel
+    phase and cost charge, so passing a
+    :class:`~repro.parallel.SimulatedMachine` yields the speed-up
+    curves the benches report.
+    """
+
+    #: Registry name of the algorithm (class-level tag, like
+    #: ``Request.kind``).
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self, store, executor: Executor | None = None):
+        self.store = store
+        self.executor = executor or SerialExecutor()
+        self.caps = capabilities(store)
+        self.done = False
+        self.rounds = 0
+        self.steps = 0
+        self._result: AlgorithmResult | None = None
+
+    def step(self) -> bool:
+        """Run one bounded slice of work; True once the run finished.
+
+        Calling :meth:`step` on a finished stepper is a no-op that
+        keeps returning True, so drivers can poll without bookkeeping.
+        """
+        if not self.done:
+            self.steps += 1
+            self._advance()
+        return self.done
+
+    def result(self) -> AlgorithmResult:
+        """The final :class:`AlgorithmResult`.
+
+        Raises :class:`~repro.errors.ValidationError` while the run is
+        still in progress.
+        """
+        if self._result is None:
+            raise ValidationError(
+                f"algorithm '{self.name}' has not finished "
+                f"({self.steps} steps so far) — keep stepping or use run()"
+            )
+        return self._result
+
+    def run(self) -> AlgorithmResult:
+        """Step to completion and return the result (the batch path)."""
+        while not self.step():
+            pass
+        return self.result()
+
+    @abc.abstractmethod
+    def _advance(self) -> None:
+        """Perform one bounded slice of work (subclass hook)."""
+
+    def _finish(self, value, *, converged: bool = True,
+                stats: Mapping[str, Any] | None = None) -> None:
+        """Mark the run complete with its payload (subclass helper)."""
+        self.done = True
+        self._result = AlgorithmResult(
+            name=self.name,
+            value=value,
+            rounds=self.rounds,
+            converged=converged,
+            stats=dict(stats or {}),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "done" if self.done else f"step {self.steps}"
+        return f"{type(self).__name__}({state}, rounds={self.rounds})"

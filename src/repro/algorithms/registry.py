@@ -1,0 +1,121 @@
+"""The algorithm registry — `run` / `make_stepper`, one entry point.
+
+The analytics counterpart of :func:`repro.open_store` and
+:func:`repro.reorder.compute_ordering`: the CLI, the benches, and the
+serve layer's job API all resolve algorithms by name here and never
+import a kernel module directly.
+
+    result = repro.algorithms.run("pagerank", store, damping=0.9)
+    stepper = repro.algorithms.make_stepper("bfs", store, source=3)
+
+Unknown names die with a one-line
+:class:`~repro.errors.ValidationError` listing the registered choices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ValidationError
+from ..parallel.machine import Executor
+from .base import AlgorithmResult, AlgorithmStepper
+
+__all__ = [
+    "AlgorithmSpec",
+    "register_algorithm",
+    "get_algorithm_spec",
+    "available_algorithms",
+    "make_stepper",
+    "run",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One registered analytics algorithm.
+
+    ``factory`` takes ``(store, executor=None, **params)`` and returns
+    an :class:`~repro.algorithms.base.AlgorithmStepper` ready to step.
+    """
+
+    name: str
+    factory: Callable
+    description: str
+
+
+_REGISTRY: dict[str, AlgorithmSpec] = {}
+
+
+def register_algorithm(
+    name: str, factory: Callable, description: str, *, replace: bool = False
+) -> AlgorithmSpec:
+    """Add an algorithm to the registry (idempotent with ``replace=True``)."""
+    if name in _REGISTRY and not replace:
+        raise ValidationError(f"algorithm '{name}' already registered")
+    spec = AlgorithmSpec(name, factory, description)
+    _REGISTRY[name] = spec
+    return spec
+
+
+def get_algorithm_spec(name: str) -> AlgorithmSpec:
+    """Look up a registered algorithm by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise ValidationError(
+            f"unknown algorithm '{name}' (known: {known})"
+        ) from None
+
+
+def available_algorithms() -> list[str]:
+    """Names of every registered algorithm, sorted."""
+    return sorted(_REGISTRY)
+
+
+def make_stepper(
+    name: str, store, executor: Executor | None = None, **params
+) -> AlgorithmStepper:
+    """Build a ready-to-step :class:`AlgorithmStepper` for *name*.
+
+    The incremental entry point the serve layer's job API uses;
+    ``params`` are algorithm-specific (see each spec's description).
+    """
+    return get_algorithm_spec(name).factory(store, executor, **params)
+
+
+def run(
+    name: str, store, executor: Executor | None = None, **params
+) -> AlgorithmResult:
+    """Run algorithm *name* over *store* to completion.
+
+    The single batch entry point used by the CLI and the benchmarks:
+    resolves the registry, builds the stepper, and steps it to its
+    :class:`~repro.algorithms.base.AlgorithmResult`.
+    """
+    return make_stepper(name, store, executor, **params).run()
+
+
+def _register_builtins() -> None:
+    from .bfs import BfsJob
+    from .pagerank import PageRankJob
+    from .triangles import TriangleCountJob
+
+    builtins = [
+        ("bfs", BfsJob,
+         "frontier BFS distances from a source node "
+         "(params: source, slice_nodes, dense_threshold)"),
+        ("pagerank", PageRankJob,
+         "power-iteration PageRank with dangling redistribution "
+         "(params: damping, tol, max_iter, slice_nodes)"),
+        ("triangles", TriangleCountJob,
+         "exact ordered-wedge triangle count via batched membership "
+         "(params: slice_wedges, method)"),
+    ]
+    for name, factory, description in builtins:
+        if name not in _REGISTRY:
+            register_algorithm(name, factory, description)
+
+
+_register_builtins()

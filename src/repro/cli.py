@@ -15,6 +15,10 @@ Commands
 * ``query`` — neighbours / edge existence against a store file,
   optionally through an LRU row cache (``--cache-elements``) and/or
   re-sharded in memory (``--shards N``).
+* ``analyze`` — run a whole-graph analytics algorithm (bfs /
+  pagerank / triangles) from :mod:`repro.algorithms` over a store on
+  a simulated p-processor machine; ``--sweep 1,2,4`` prints the
+  cost-model speed-up curve.
 * ``bench`` — regenerate Table II or Figures 6-7 from the paper.
 * ``serve-bench`` — coalesced vs single-request serving throughput on
   a synthetic open-loop workload (the :mod:`repro.serve` subsystem).
@@ -170,6 +174,33 @@ def build_parser() -> argparse.ArgumentParser:
     qe = qsub.add_parser("edge", help="check edge existence")
     qe.add_argument("u", type=int)
     qe.add_argument("v", type=int)
+
+    ana = sub.add_parser(
+        "analyze",
+        help="run a whole-graph analytics algorithm over a store")
+    ana.add_argument("input", help=".npz or disk directory from 'build'")
+    ana.add_argument("algorithm",
+                     help="registered algorithm name (bfs, pagerank, "
+                     "triangles, or anything registered in "
+                     "repro.algorithms)")
+    ana.add_argument("--source", type=int, default=None,
+                     help="bfs: source node")
+    ana.add_argument("--damping", type=float, default=None,
+                     help="pagerank: damping factor")
+    ana.add_argument("--tol", type=float, default=None,
+                     help="pagerank: L1 convergence tolerance")
+    ana.add_argument("--max-iter", type=int, default=None,
+                     help="pagerank: bulk-synchronous sweep cap")
+    ana.add_argument("--method", choices=["scan", "bisect"], default=None,
+                     help="triangles: edge-existence probe method")
+    ana.add_argument("-p", "--processors", type=int, default=1,
+                     help="simulated processors the run is charged on")
+    ana.add_argument("--sweep", default=None,
+                     help="comma list of processor counts: print the "
+                     "simulated speed-up curve (p=1 added if missing)")
+    ana.add_argument("--top", type=int, default=10,
+                     help="value entries to print (pagerank: top-k by rank)")
+    _add_shard_flags(ana)
 
     bench = sub.add_parser("bench", help="regenerate a paper artifact")
     bench.add_argument("artifact", choices=["table2", "fig6", "fig7"])
@@ -568,6 +599,69 @@ def _cmd_query(args) -> int:
     return rc
 
 
+def _render_analytics_value(value, stats, top: int) -> None:
+    """Print an algorithm's value in the shape-appropriate way."""
+    from .analysis.tables import render_table
+
+    if stats:
+        print("stats: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(stats.items())))
+    if isinstance(value, np.ndarray) and value.dtype.kind == "f":
+        order = np.argsort(value)[::-1][:top]
+        rows = [[int(i), float(value[i])] for i in order]
+        print(render_table(["node", "value"], rows,
+                           title=f"top {len(rows)} nodes by value"))
+    elif isinstance(value, np.ndarray):
+        head = value[:top]
+        print(f"value[:{head.shape[0]}] = {head.tolist()}")
+    else:
+        print(f"value = {value}")
+
+
+def _cmd_analyze(args) -> int:
+    from .algorithms import make_stepper
+    from .analysis.speedup import SpeedupCurve
+    from .analysis.tables import render_table
+
+    store = _reshard(_load(args.input), args)
+    params = {k: v for k, v in (
+        ("source", args.source), ("damping", args.damping),
+        ("tol", args.tol), ("max_iter", args.max_iter),
+        ("method", args.method),
+    ) if v is not None}
+
+    def run_at(p: int):
+        machine = SimulatedMachine(p)
+        stepper = make_stepper(args.algorithm, store, machine, **params)
+        return stepper.run(), machine.elapsed_ms()
+
+    try:
+        if args.sweep:
+            ps = sorted({int(tok) for tok in args.sweep.split(",")
+                         if tok.strip()} | {1})
+            times, result = {}, None
+            for p in ps:
+                result, times[p] = run_at(p)
+            curve = SpeedupCurve(args.algorithm, times)
+            ratios = curve.ratios()
+            rows = [[p, times[p], ratios[p]] for p in ps]
+            print(render_table(
+                ["p", "simulated ms", "speed-up"], rows,
+                title=f"{args.algorithm}: simulated scaling (Amdahl serial "
+                      f"fraction {curve.serial_fraction():.3f})"))
+        else:
+            result, ms = run_at(args.processors)
+            print(f"{args.algorithm}: {result.rounds} rounds, "
+                  f"converged={result.converged}, simulated {ms:.3f} ms "
+                  f"on p={args.processors}")
+    except TypeError as exc:
+        raise ReproError(
+            f"bad parameter for algorithm '{args.algorithm}': {exc}"
+        ) from exc
+    _render_analytics_value(result.value, result.stats, args.top)
+    return 0
+
+
 def _cmd_bench(args) -> int:
     if args.artifact == "table2":
         result = run_table2(scale=args.scale, min_edges=args.min_edges)
@@ -798,6 +892,7 @@ _COMMANDS = {
     "compact": _cmd_compact,
     "info": _cmd_info,
     "query": _cmd_query,
+    "analyze": _cmd_analyze,
     "bench": _cmd_bench,
     "serve-bench": _cmd_serve_bench,
     "report": _cmd_report,

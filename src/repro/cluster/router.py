@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ClusterError, ValidationError
+from ..query.rowcache import RowCache
 from ..serve.admission import AdmissionController
 from ..serve.coalescer import MicroBatch, MicroBatchCoalescer
 from ..serve.config import ServerConfig
@@ -50,6 +51,8 @@ from ..serve.request import (
     DONE,
     REJECTED,
     SHED,
+    AnalyticsRequest,
+    JobHandle,
     ManualClock,
     ReadRequest,
     ReplySlot,
@@ -180,6 +183,8 @@ class Router:
         self._tenant_inflight: dict[str, int] = {}
         self._tenant_completed: dict[str, int] = {}
         self._slots: dict[int, ReplySlot] = {}
+        self._jobs: deque[JobHandle] = deque()
+        self._job_view = None
         self._next_ticket = 0
         self._events: list = []     # (time_ns, seq, kind, payload)
         self._seq = 0
@@ -205,6 +210,11 @@ class Router:
         the monolithic order, with fan-out deferred to batch closure.
         Cluster serving is read-only: a :class:`WriteRequest` raises.
         """
+        if isinstance(request, AnalyticsRequest):
+            raise ValidationError(
+                "analytics requests are long-running jobs — submit them "
+                "through submit_job(), not submit()"
+            )
         if isinstance(request, WriteRequest):
             raise ValidationError(
                 "cluster serving is read-only (route writes to a "
@@ -251,9 +261,77 @@ class Router:
         self.pump(now)
         return slot
 
+    # -- analytics jobs --------------------------------------------------
+    def submit_job(self, request: AnalyticsRequest) -> JobHandle:
+        """Admit one analytics job against the whole routed graph.
+
+        The job's stepper runs over a read-only
+        :class:`~repro.shard.ShardedStore` view assembled from one
+        replica of every shard (the union of the shards *is* the
+        graph), so results are identical to the same job on a
+        monolithic server.  Jobs are granted
+        ``config.job_slice_steps`` work slices per :meth:`pump`, FIFO,
+        interleaved with scattered point traffic.
+        """
+        from ..algorithms import make_stepper
+
+        if not isinstance(request, AnalyticsRequest):
+            raise ValidationError(
+                f"submit_job takes an AnalyticsRequest, got "
+                f"{type(request).__name__}"
+            )
+        if request.ticket >= 0:
+            raise ValidationError("request was already submitted")
+        stepper = make_stepper(
+            request.algorithm, self._whole_graph_view(),
+            self.config.executor, **dict(request.params),
+        )
+        now = self._clock()
+        request.ticket = self._next_ticket
+        self._next_ticket += 1
+        request.enqueue_ns = now
+        request.dispatch_ns = now
+        self._jobs.append(JobHandle(request, stepper))
+        return self._jobs[-1]
+
+    def _whole_graph_view(self):
+        """A :class:`~repro.shard.ShardedStore` over replica 0 of every
+        shard — the router's read-only whole-graph surface (built once,
+        reused by every job)."""
+        if self._job_view is None:
+            from ..shard import ShardedStore
+
+            shards = []
+            for s in range(self.num_shards):
+                store = self.by_shard[s][0].server.engine.store
+                if isinstance(store, RowCache):
+                    store = store.store
+                shards.append(store)
+            self._job_view = ShardedStore(self.partitioner, shards)
+        return self._job_view
+
+    @property
+    def active_jobs(self) -> int:
+        """Analytics jobs queued or running (FIFO; the front one gets
+        the pump slices)."""
+        return len(self._jobs)
+
+    def _pump_jobs(self) -> int:
+        """Grant the front job one slice allowance; returns jobs that
+        reached a terminal state (0 or 1)."""
+        if not self._jobs:
+            return 0
+        handle = self._jobs[0]
+        if handle._advance(self.config.job_slice_steps):
+            self._jobs.popleft()
+            handle.request.complete_ns = float(self._clock())
+            return 1
+        return 0
+
     def pump(self, now: float | None = None) -> int:
-        """Run the event loop up to *now* and scatter every batch the
-        coalescer considers closed; returns batches scattered."""
+        """Run the event loop up to *now*, scatter every batch the
+        coalescer considers closed, then grant the front analytics job
+        its work slices; returns batches scattered."""
         if now is None:
             now = self._clock()
         self._run_events(now)
@@ -262,12 +340,15 @@ class Router:
             self._scatter(batch)
             served += 1
             self._run_events(now)
+        self._pump_jobs()
         return served
 
     def drain(self) -> int:
         """Flush the queue, then run the event loop to quiescence,
         advancing the virtual clock through every outstanding
-        completion; afterwards every admitted slot is terminal."""
+        completion, then run every analytics job to completion;
+        afterwards every admitted slot and every job handle is
+        terminal."""
         served = 0
         for batch in self.coalescer.flush(self._clock()):
             self._scatter(batch)
@@ -276,6 +357,12 @@ class Router:
             t = self._events[0][0]
             self._clock.advance_to(t)
             served += self.pump(t)
+        while self._jobs:
+            handle = self._jobs[0]
+            while not handle._advance(self.config.job_slice_steps):
+                pass
+            self._jobs.popleft()
+            handle.request.complete_ns = float(self._clock())
         return served
 
     def next_wakeup_ns(self) -> float | None:

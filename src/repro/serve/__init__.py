@@ -17,6 +17,13 @@ Construction goes through :class:`ServerConfig` + :func:`open_server`
 :func:`repro.open_store` — which returns a single
 :class:`GraphQueryServer` or, when the config names cluster options,
 a replicated scatter-gather :class:`~repro.cluster.Router`.
+
+Long-running analytics ride the same front door: an
+:class:`AnalyticsRequest` submitted through
+:meth:`GraphQueryServer.submit_job` (or the router's) yields a
+:class:`JobHandle`, and every ``pump`` interleaves bounded
+:mod:`repro.algorithms` stepper slices with live point-query batches —
+offline analytics and online serving coexist on one store.
 """
 
 from .admission import POLICIES, AdmissionController, AdmissionStats
@@ -31,7 +38,9 @@ from .request import (
     PENDING,
     REJECTED,
     SHED,
+    AnalyticsRequest,
     EdgeRequest,
+    JobHandle,
     ManualClock,
     NeighborsRequest,
     ReadRequest,
@@ -60,7 +69,9 @@ __all__ = [
     "NeighborsRequest",
     "EdgeRequest",
     "WriteRequest",
+    "AnalyticsRequest",
     "ReplySlot",
+    "JobHandle",
     "ManualClock",
     "DEFAULT_TENANT",
     "PENDING",

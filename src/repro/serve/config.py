@@ -21,14 +21,15 @@ that :func:`repro.open_store` gave stores:
 single-worker configs and a :class:`~repro.cluster.Router` fronting
 replicated :class:`~repro.cluster.ShardWorker` loops whenever any
 cluster option is set (``workers``/``replicas`` > 1, tenant quotas, or
-a hedge percentile).  The old ``GraphQueryServer(store, **kwargs)``
-construction keeps working for one release behind a
-``DeprecationWarning``.
+a hedge percentile).  This is the **only** construction path: the old
+``GraphQueryServer(store, **kwargs)`` form (deprecated one release
+ago) now raises a one-line :class:`~repro.errors.ReproError` pointing
+here.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Mapping
 
@@ -38,17 +39,6 @@ from ..utils import require
 from .admission import POLICIES
 
 __all__ = ["ServerConfig", "open_server"]
-
-#: ServerConfig fields that map 1:1 onto the legacy
-#: ``GraphQueryServer.__init__`` keyword arguments.
-LEGACY_SERVER_KWARGS = (
-    "cache_elements",
-    "max_batch_size",
-    "max_wait_ns",
-    "queue_capacity",
-    "policy",
-    "edge_method",
-)
 
 #: Recognised worker service-time sources for cluster serving.
 SERVICE_KINDS = ("simulated", "wall")
@@ -69,13 +59,15 @@ class ServerConfig:
         Build via :func:`repro.open_store` from ``edges=(src, dst, n)``
         with ``store_opts`` passed through to the kind's builder.
 
-    Serving knobs mirror the (now deprecated) ``GraphQueryServer``
-    kwargs: ``executor``, ``cache_elements``, coalescer bounds
+    Serving knobs: ``executor``, ``cache_elements``, coalescer bounds
     (``max_batch_size`` / ``max_wait_ns``), admission bounds
-    (``queue_capacity`` / ``policy``), ``edge_method``, and the LSM
+    (``queue_capacity`` / ``policy``), ``edge_method``, the LSM
     ``write_watermark`` (> 0 wraps a read-only store in an
     :class:`~repro.lsm.LsmStore` overlay compacting at that memtable
-    size).
+    size), and ``job_slice_steps`` — how many analytics-stepper slices
+    each :meth:`~repro.serve.server.GraphQueryServer.pump` grants the
+    front queued job before returning to point traffic (higher
+    finishes jobs sooner at the cost of serve tail latency).
 
     Cluster options (any of them switches :func:`open_server` to the
     router): ``workers`` total worker loops, ``replicas`` per shard
@@ -105,6 +97,7 @@ class ServerConfig:
     policy: str = "reject"
     edge_method: str = "scan"
     write_watermark: int = 0
+    job_slice_steps: int = 1
     workers: int = 1
     replicas: int = 1
     partitioner: str = "range"
@@ -123,6 +116,7 @@ class ServerConfig:
                 f"unknown admission policy {self.policy!r}")
         require(self.cache_elements >= 0, "cache_elements must be >= 0")
         require(self.write_watermark >= 0, "write_watermark must be >= 0")
+        require(self.job_slice_steps >= 1, "job_slice_steps must be >= 1")
         require(self.workers >= 1, "workers must be >= 1")
         require(self.replicas >= 1, "replicas must be >= 1")
         if self.workers % self.replicas:
@@ -218,22 +212,6 @@ class ServerConfig:
                     compact_watermark=int(self.write_watermark),
                 )
         return store
-
-
-def server_config_from_kwargs(**kwargs) -> ServerConfig:
-    """A :class:`ServerConfig` from legacy ``GraphQueryServer`` kwargs.
-
-    Unknown names raise ``TypeError`` with the legal set, mirroring
-    what the old signature would have done.
-    """
-    known = {f.name for f in fields(ServerConfig)}
-    unknown = sorted(set(kwargs) - known)
-    if unknown:
-        raise TypeError(
-            f"unknown GraphQueryServer option(s) {', '.join(unknown)} "
-            f"(known: {', '.join(sorted(known))})"
-        )
-    return ServerConfig(**kwargs)
 
 
 def open_server(config: ServerConfig, *, clock=None):

@@ -43,7 +43,9 @@ __all__ = [
     "NeighborsRequest",
     "EdgeRequest",
     "WriteRequest",
+    "AnalyticsRequest",
     "ReplySlot",
+    "JobHandle",
     "ManualClock",
     "DEFAULT_TENANT",
     "PENDING",
@@ -166,6 +168,32 @@ class WriteRequest(Request):
         return ("w", self.op, int(self.u), int(self.v))
 
 
+@dataclass(slots=True)
+class AnalyticsRequest(Request):
+    """One long-running analytics job: run ``algorithm`` over the
+    whole store.
+
+    Unlike point queries, an analytics request is not answered inside
+    one dispatch: the server builds an
+    :class:`~repro.algorithms.base.AlgorithmStepper` for it and
+    interleaves bounded work slices with live point-query batches (see
+    :meth:`~repro.serve.server.GraphQueryServer.submit_job`).
+    ``params`` are passed through to the algorithm's registry factory
+    (``source=`` for bfs, ``damping=`` for pagerank, ...).
+    """
+
+    kind: ClassVar[str] = "analytics"
+
+    algorithm: str = ""
+    params: dict = field(default_factory=dict)
+
+    @property
+    def key(self) -> tuple:
+        """Identity tuple (jobs are never coalesced, but every request
+        kind shares the keyed surface)."""
+        return ("a", self.algorithm)
+
+
 class ReplySlot:
     """Synchronous future-like handle for one submitted request.
 
@@ -236,6 +264,92 @@ class ReplySlot:
             else (f", value={self._value!r}" if self.status == DONE else "")
         )
         return f"ReplySlot(ticket={self.request.ticket}, status={self.status}{shape})"
+
+
+class JobHandle:
+    """Future-like handle for one submitted analytics job.
+
+    The job-API twin of :class:`ReplySlot`: resolved exactly once into
+    :data:`DONE` (carrying the
+    :class:`~repro.algorithms.base.AlgorithmResult`) or :data:`FAILED`
+    (carrying the error the stepper raised — a failing job never takes
+    the serve loop down with it).  Between those it exposes live
+    progress: ``slices`` server pump slices granted so far, ``rounds``
+    the algorithm's own round counter.
+    """
+
+    __slots__ = ("request", "status", "slices", "_stepper", "_value",
+                 "error")
+
+    def __init__(self, request: AnalyticsRequest, stepper):
+        self.request = request
+        self.status = PENDING
+        self.slices = 0
+        self._stepper = stepper
+        self._value = None
+        self.error: Exception | None = None
+
+    @property
+    def ready(self) -> bool:
+        """True once the job reached a terminal state."""
+        return self.status in _TERMINAL
+
+    @property
+    def rounds(self) -> int:
+        """Bulk-synchronous rounds the algorithm has completed so far."""
+        return self._stepper.rounds
+
+    def result(self):
+        """The job's :class:`~repro.algorithms.base.AlgorithmResult`.
+
+        Raises the stored error when the job failed, and
+        :class:`~repro.errors.ValidationError` while still running.
+        """
+        if self.status == DONE:
+            return self._value
+        if self.status == FAILED:
+            raise self.error
+        raise ValidationError(
+            f"job ticket={self.request.ticket} is still running "
+            f"({self.slices} slices, {self.rounds} rounds)"
+        )
+
+    # -- server-side resolution (exactly once) --------------------------
+    def _resolve(self, status: str, value=None) -> None:
+        if self.status != PENDING:
+            raise ValidationError(
+                f"job handle for ticket={self.request.ticket} resolved "
+                f"twice ({self.status} -> {status})"
+            )
+        self.status = status
+        self._value = value
+
+    def _fail(self, error: Exception) -> None:
+        self._resolve(FAILED)
+        self.error = error
+
+    def _advance(self, steps: int) -> bool:
+        """Grant the job up to *steps* stepper slices; True when the
+        handle went terminal (the server pops it from its queue)."""
+        if self.ready:
+            return True
+        self.slices += 1
+        try:
+            for _ in range(steps):
+                if self._stepper.step():
+                    self._resolve(DONE, self._stepper.result())
+                    return True
+        except Exception as exc:  # noqa: BLE001 - jobs must not kill serving
+            self._fail(exc)
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"JobHandle(ticket={self.request.ticket}, "
+            f"algorithm={self.request.algorithm!r}, status={self.status}, "
+            f"slices={self.slices})"
+        )
 
 
 class ManualClock:

@@ -26,9 +26,9 @@ threaded front-end would have.
 from __future__ import annotations
 
 import time
-import warnings
+from collections import deque
 
-from ..errors import QueryError, ValidationError
+from ..errors import QueryError, ReproError, ValidationError
 from ..parallel.machine import Executor
 from ..query.capabilities import capabilities
 from ..query.edges import Method
@@ -38,11 +38,13 @@ from ..utils import require
 from .admission import AdmissionController
 from .coalescer import MicroBatch, MicroBatchCoalescer
 from .metrics import ServeMetrics, ServeSnapshot
-from .config import LEGACY_SERVER_KWARGS, ServerConfig, server_config_from_kwargs
+from .config import ServerConfig
 from .request import (
     DONE,
     REJECTED,
     SHED,
+    AnalyticsRequest,
+    JobHandle,
     ReadRequest,
     ReplySlot,
     Request,
@@ -72,12 +74,6 @@ class GraphQueryServer:
         Nanosecond monotonic clock for every lifecycle stamp;
         injectable (:class:`~repro.serve.request.ManualClock`) for
         deterministic tests and virtual-time latency studies.
-    **legacy:
-        The pre-``ServerConfig`` keyword arguments (``cache_elements``,
-        ``max_batch_size``, ``max_wait_ns``, ``queue_capacity``,
-        ``policy``, ``edge_method``).  Still honoured for one release
-        with a ``DeprecationWarning``; move to
-        ``open_server(ServerConfig(...))``.
     """
 
     def __init__(
@@ -87,29 +83,15 @@ class GraphQueryServer:
         *,
         config: ServerConfig | None = None,
         clock=default_clock,
-        **legacy,
+        **removed,
     ):
-        if legacy:
-            if config is not None:
-                raise ValidationError(
-                    "pass either config= or legacy keyword arguments, "
-                    "not both"
-                )
-            unknown = sorted(set(legacy) - set(LEGACY_SERVER_KWARGS))
-            if unknown:
-                raise TypeError(
-                    f"GraphQueryServer got unexpected keyword argument(s) "
-                    f"{', '.join(unknown)}"
-                )
-            warnings.warn(
-                "GraphQueryServer(store, **kwargs) is deprecated; build a "
-                "repro.serve.ServerConfig and call open_server(config) "
-                "(or pass config= here) instead",
-                DeprecationWarning,
-                stacklevel=2,
+        if removed:
+            raise ReproError(
+                f"GraphQueryServer(store, **kwargs) was removed: pass "
+                f"{', '.join(sorted(removed))} via a repro.serve."
+                f"ServerConfig and call open_server(config)"
             )
-            config = server_config_from_kwargs(**legacy)
-        elif config is None:
+        if config is None:
             config = ServerConfig()
         self.config = config
         if config.cache_elements and not isinstance(store, RowCache):
@@ -124,6 +106,7 @@ class GraphQueryServer:
                                              config.policy)
         self.metrics = ServeMetrics()
         self._slots: dict[int, ReplySlot] = {}
+        self._jobs: deque[JobHandle] = deque()
         self._next_ticket = 0
         # the write target is the store under any RowCache wrap — a
         # WriteRequest mutates it directly, then invalidates the
@@ -153,6 +136,11 @@ class GraphQueryServer:
         closed a batch (by size, by an expired window, or by the
         ``block`` policy draining to make room).
         """
+        if isinstance(request, AnalyticsRequest):
+            raise ValidationError(
+                "analytics requests are long-running jobs — submit them "
+                "through submit_job(), not submit()"
+            )
         if not isinstance(request, (ReadRequest, WriteRequest)) or (
             type(request) is ReadRequest
         ):
@@ -228,15 +216,71 @@ class GraphQueryServer:
         self.metrics.record_write(service_ns, applied)
         return slot
 
+    # -- analytics jobs -------------------------------------------------
+    def submit_job(self, request: AnalyticsRequest) -> JobHandle:
+        """Admit one analytics job; returns its handle immediately.
+
+        The job's :class:`~repro.algorithms.base.AlgorithmStepper` is
+        built against the raw store (under any cache wrap) on the
+        server's own executor, then queued FIFO: every :meth:`pump`
+        grants the front job ``config.job_slice_steps`` bounded work
+        slices after serving point traffic, so analytics progress
+        rides along with live queries instead of monopolising the
+        engine.  Unknown algorithm names and bad parameters raise
+        here, at submit time.
+        """
+        from ..algorithms import make_stepper
+
+        if not isinstance(request, AnalyticsRequest):
+            raise ValidationError(
+                f"submit_job takes an AnalyticsRequest, got "
+                f"{type(request).__name__}"
+            )
+        require(request.ticket < 0, "request was already submitted")
+        target = self.engine.store
+        if isinstance(target, RowCache):
+            target = target.store
+        stepper = make_stepper(
+            request.algorithm, target, self.engine.executor,
+            **dict(request.params),
+        )
+        now = self._clock()
+        request.ticket = self._next_ticket
+        self._next_ticket += 1
+        request.enqueue_ns = now
+        request.dispatch_ns = now
+        self._jobs.append(JobHandle(request, stepper))
+        return self._jobs[-1]
+
+    @property
+    def active_jobs(self) -> int:
+        """Analytics jobs queued or running (FIFO; the front one gets
+        the pump slices)."""
+        return len(self._jobs)
+
+    def _pump_jobs(self) -> int:
+        """Grant the front job one slice allowance; returns jobs that
+        reached a terminal state (0 or 1)."""
+        if not self._jobs:
+            return 0
+        handle = self._jobs[0]
+        if handle._advance(self.config.job_slice_steps):
+            self._jobs.popleft()
+            handle.request.complete_ns = float(self._clock())
+            return 1
+        return 0
+
     def pump(self, now: float | None = None) -> int:
         """Dispatch every batch the coalescer considers closed at
-        *now* (size reached, or wait window expired); returns the
-        number of batches served.  Call between arrivals when driving
-        the server from a schedule."""
+        *now* (size reached, or wait window expired), then grant the
+        front analytics job its work slices; returns the number of
+        batches served.  Call between arrivals when driving the server
+        from a schedule."""
         served = 0
         while (batch := self.coalescer.poll(now)) is not None:
             self._dispatch(batch)
             served += 1
+        self._pump_jobs()
         return served
 
     def next_wakeup_ns(self) -> float | None:
@@ -248,13 +292,20 @@ class GraphQueryServer:
         return self.coalescer.next_close_ns
 
     def drain(self) -> int:
-        """Flush and serve everything still queued (shutdown path);
-        returns the number of batches served.  Afterwards every
-        accepted ticket's slot is terminal."""
+        """Flush and serve everything still queued, then run every
+        analytics job to completion (shutdown path); returns the
+        number of batches served.  Afterwards every accepted ticket's
+        slot and every job handle is terminal."""
         served = 0
         for batch in self.coalescer.flush(self._clock()):
             self._dispatch(batch)
             served += 1
+        while self._jobs:
+            handle = self._jobs[0]
+            while not handle._advance(self.config.job_slice_steps):
+                pass
+            self._jobs.popleft()
+            handle.request.complete_ns = float(self._clock())
         return served
 
     # -- batch dispatch -------------------------------------------------

@@ -20,6 +20,7 @@ from repro.serve import (
     GraphQueryServer,
     ManualClock,
     NeighborsRequest,
+    ServerConfig,
 )
 
 
@@ -36,10 +37,12 @@ def _server(store, policy, *, capacity=4, batch=100):
     # a huge window so nothing closes on its own: overload is the test
     srv = GraphQueryServer(
         store,
-        max_batch_size=batch,
-        max_wait_ns=1 << 50,
-        queue_capacity=capacity,
-        policy=policy,
+        config=ServerConfig(
+            max_batch_size=batch,
+            max_wait_ns=1 << 50,
+            queue_capacity=capacity,
+            policy=policy,
+        ),
         clock=clock,
     )
     return srv, clock

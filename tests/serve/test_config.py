@@ -1,14 +1,12 @@
-"""`ServerConfig` / `open_server` / `load_store` and the legacy path.
+"""`ServerConfig` / `open_server` / `load_store` and the removed path.
 
 The unified construction API must validate every knob combination in
 one place, pick the right front-end (monolithic server vs cluster
-router) from the config alone, keep the deprecated
-``GraphQueryServer(store, **kwargs)`` spelling working behind a
-:class:`DeprecationWarning`, and round-trip saved stores through
-:func:`repro.stores.load_store`.
+router) from the config alone, reject the removed
+``GraphQueryServer(store, **kwargs)`` spelling with a one-line
+:class:`ReproError` pointing at :func:`open_server`, and round-trip
+saved stores through :func:`repro.stores.load_store`.
 """
-
-import warnings
 
 import numpy as np
 import pytest
@@ -166,37 +164,32 @@ class TestOpenServer:
             open_server(packed)
 
 
-class TestLegacyConstruction:
-    """The deprecated kwargs spelling: works, warns, and maps 1:1."""
+class TestLegacyConstructionRemoved:
+    """The old kwargs spelling is gone: one-line error, no silent drift."""
 
-    def test_legacy_kwargs_warn_and_apply(self, packed):
-        with pytest.warns(DeprecationWarning, match="ServerConfig"):
-            server = GraphQueryServer(packed, max_batch_size=8,
-                                      queue_capacity=32, policy="block")
-        assert server.config.max_batch_size == 8
-        assert server.config.queue_capacity == 32
-        assert server.config.policy == "block"
+    def test_legacy_kwargs_raise_repro_error(self, packed):
+        with pytest.raises(ReproError, match="open_server"):
+            GraphQueryServer(packed, max_batch_size=8,
+                             queue_capacity=32, policy="block")
 
-    def test_bare_construction_does_not_warn(self, packed):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            GraphQueryServer(packed)
+    def test_error_names_the_offending_kwargs(self, packed):
+        with pytest.raises(ReproError, match="max_batch_size"):
+            GraphQueryServer(packed, max_batch_size=8)
 
-    def test_config_construction_does_not_warn(self, packed):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            server = GraphQueryServer(packed,
-                                      config=ServerConfig(max_batch_size=4))
-        assert server.config.max_batch_size == 4
-
-    def test_config_plus_legacy_rejected(self, packed):
-        with pytest.raises(ValidationError):
-            GraphQueryServer(packed, config=ServerConfig(),
-                             max_batch_size=8)
-
-    def test_unknown_kwarg_raises_type_error(self, packed):
-        with pytest.raises(TypeError, match="max_batch_sise"):
+    def test_unknown_kwarg_also_raises(self, packed):
+        # even a typo'd knob takes the same removal path — there is no
+        # kwargs surface left to validate against
+        with pytest.raises(ReproError, match="max_batch_sise"):
             GraphQueryServer(packed, max_batch_sise=8)
+
+    def test_bare_construction_still_works(self, packed):
+        server = GraphQueryServer(packed)
+        assert server.config.max_batch_size == ServerConfig().max_batch_size
+
+    def test_config_construction_works(self, packed):
+        server = GraphQueryServer(packed,
+                                  config=ServerConfig(max_batch_size=4))
+        assert server.config.max_batch_size == 4
 
 
 class TestLoadStore:

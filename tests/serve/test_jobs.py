@@ -1,0 +1,257 @@
+"""Analytics jobs riding the serve loop: coexistence and exactness.
+
+The job API's contract: a long-running algorithm time-slices through
+``pump`` without perturbing point traffic — every point reply stays
+bit-exact and exactly-once while a job runs, the job's result equals
+the batch-path reference regardless of how it was sliced, a routed
+cluster job equals the monolithic run, and a failing job resolves its
+handle FAILED without taking the serve loop down.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import AlgorithmStepper, register_algorithm, run
+from repro.algorithms import registry as registry_module
+from repro.csr.builder import build_csr_serial
+from repro.csr.traversal import bfs_levels
+from repro.errors import QueryError, ValidationError
+from repro.query import QueryEngine
+from repro.serve import (
+    DONE,
+    FAILED,
+    AnalyticsRequest,
+    EdgeRequest,
+    GraphQueryServer,
+    JobHandle,
+    ManualClock,
+    NeighborsRequest,
+    ServerConfig,
+    open_server,
+)
+from repro.stores import open_store
+
+
+@pytest.fixture
+def edges(rng):
+    n, m = 80, 700
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    pairs = np.unique(np.stack([src, dst], 1), axis=0)
+    return pairs[:, 0], pairs[:, 1], n
+
+
+@pytest.fixture
+def packed(edges):
+    src, dst, n = edges
+    return open_store("packed", src, dst, n, sort=True)
+
+
+def _server(store, **knobs):
+    return GraphQueryServer(store, config=ServerConfig(**knobs),
+                            clock=ManualClock())
+
+
+class TestSubmitJob:
+    def test_submit_rejects_analytics(self, packed):
+        server = _server(packed)
+        with pytest.raises(ValidationError, match="submit_job"):
+            server.submit(AnalyticsRequest(algorithm="bfs"))
+
+    def test_submit_job_rejects_point_requests(self, packed):
+        server = _server(packed)
+        with pytest.raises(ValidationError, match="AnalyticsRequest"):
+            server.submit_job(NeighborsRequest(node=0))
+
+    def test_double_submit_rejected(self, packed):
+        server = _server(packed)
+        req = AnalyticsRequest(algorithm="bfs", params={"source": 0})
+        server.submit_job(req)
+        with pytest.raises(ValidationError, match="already submitted"):
+            server.submit_job(req)
+
+    def test_unknown_algorithm_raises_at_submit(self, packed):
+        server = _server(packed)
+        with pytest.raises(ValidationError, match="unknown algorithm"):
+            server.submit_job(AnalyticsRequest(algorithm="nope"))
+        assert server.active_jobs == 0
+
+    def test_bad_params_raise_at_submit(self, packed):
+        server = _server(packed)
+        with pytest.raises(QueryError):
+            server.submit_job(AnalyticsRequest(
+                algorithm="bfs", params={"source": 10**9}))
+
+    def test_handle_progress_surface(self, packed):
+        server = _server(packed)
+        job = server.submit_job(AnalyticsRequest(
+            algorithm="bfs", params={"source": 0, "slice_nodes": 4}))
+        assert isinstance(job, JobHandle)
+        assert server.active_jobs == 1
+        assert not job.ready
+        with pytest.raises(ValidationError, match="still running"):
+            job.result()
+        server.pump()
+        assert job.slices == 1
+        server.drain()
+        assert job.ready and job.status == DONE
+        assert server.active_jobs == 0
+        assert job.request.complete_ns is not None
+
+
+class TestCoexistence:
+    def test_point_replies_exact_and_once_during_job(self, edges, packed):
+        """While a job is sliced through pump, every point reply equals
+        the direct engine answer and resolves exactly once."""
+        src, dst, n = edges
+        engine = QueryEngine(packed)  # independent reference
+        ref = bfs_levels(build_csr_serial(src, dst, n, sort=True), 0)
+        server = _server(packed, max_batch_size=2, job_slice_steps=1)
+        job = server.submit_job(AnalyticsRequest(
+            algorithm="bfs", params={"source": 0, "slice_nodes": 8}))
+        rng = np.random.default_rng(5)
+        slots = []
+        while not job.ready:
+            if rng.random() < 0.5:
+                u = int(rng.integers(0, n))
+                slots.append(("n", u, server.submit(NeighborsRequest(node=u))))
+            else:
+                u, v = (int(x) for x in rng.integers(0, n, 2))
+                slots.append(("e", (u, v), server.submit(EdgeRequest(u=u, v=v))))
+            server.pump()
+        server.drain()
+        assert np.array_equal(job.result().value, ref)
+        assert len(slots) > 2  # the job genuinely interleaved
+        for kind, key, slot in slots:
+            assert slot.status == DONE
+            if kind == "n":
+                assert np.array_equal(slot.result(), engine.neighbors([key])[0])
+            else:
+                assert slot.result() == bool(engine.has_edges([key])[0])
+
+    def test_slicing_is_observationally_invisible(self, packed):
+        """Same result whether the job runs in one drain, tiny pump
+        slices, or the batch path."""
+        batch = run("pagerank", packed, max_iter=4)
+        server = _server(packed, job_slice_steps=3)
+        job = server.submit_job(AnalyticsRequest(
+            algorithm="pagerank", params={"max_iter": 4, "slice_nodes": 5}))
+        pumps = 0
+        while not job.ready:
+            server.pump()
+            pumps += 1
+        assert pumps > 1
+        assert np.array_equal(job.result().value, batch.value)
+
+    def test_jobs_run_fifo(self, packed):
+        server = _server(packed, job_slice_steps=1)
+        first = server.submit_job(AnalyticsRequest(
+            algorithm="bfs", params={"source": 0, "slice_nodes": 4}))
+        second = server.submit_job(AnalyticsRequest(
+            algorithm="bfs", params={"source": 1, "slice_nodes": 4}))
+        while not first.ready:
+            assert second.slices == 0  # strictly behind the front job
+            server.pump()
+        server.drain()
+        assert first.status == DONE and second.status == DONE
+
+    def test_drain_finishes_jobs(self, packed):
+        server = _server(packed)
+        job = server.submit_job(AnalyticsRequest(
+            algorithm="triangles", params={"slice_wedges": 64}))
+        server.drain()
+        assert job.status == DONE
+        assert int(job.result().value) >= 0
+
+
+class _Explodes(AlgorithmStepper):
+    name = "explodes"
+
+    def __init__(self, store, executor=None, *, after=2):
+        super().__init__(store, executor)
+        self.after = after
+
+    def _advance(self):
+        if self.steps > self.after:
+            raise RuntimeError("kaboom mid-run")
+
+
+class TestFailedJobs:
+    @pytest.fixture(autouse=True)
+    def _register(self):
+        register_algorithm("explodes-test", _Explodes, "fails mid-run")
+        yield
+        registry_module._REGISTRY.pop("explodes-test", None)
+
+    def test_mid_run_failure_is_contained(self, packed):
+        """A stepper raising mid-run fails its handle, not the server."""
+        server = _server(packed, max_batch_size=1)
+        job = server.submit_job(AnalyticsRequest(algorithm="explodes-test"))
+        while not job.ready:
+            server.pump()
+        assert job.status == FAILED
+        with pytest.raises(RuntimeError, match="kaboom"):
+            job.result()
+        assert server.active_jobs == 0
+        # serving is unaffected afterwards
+        slot = server.submit(NeighborsRequest(node=3))
+        server.drain()
+        assert slot.status == DONE
+
+    def test_drain_survives_failing_job(self, packed):
+        server = _server(packed)
+        job = server.submit_job(AnalyticsRequest(algorithm="explodes-test"))
+        server.drain()
+        assert job.status == FAILED
+
+
+class TestRouterJobs:
+    def _router(self, src, dst, n, **overrides):
+        return open_server(ServerConfig(
+            store_kind="packed", edges=(src, dst, n),
+            store_opts={"sort": True}, workers=4, replicas=2,
+            max_batch_size=4, **overrides,
+        ))
+
+    def test_router_submit_rejects_analytics(self, edges):
+        src, dst, n = edges
+        router = self._router(src, dst, n)
+        with pytest.raises(ValidationError, match="submit_job"):
+            router.submit(AnalyticsRequest(algorithm="bfs"))
+
+    def test_routed_job_equals_monolithic(self, edges, packed):
+        """A job over the sharded cluster view is value-identical to
+        the monolithic run, with point traffic interleaved."""
+        src, dst, n = edges
+        mono = run("bfs", packed, source=2)
+        router = self._router(src, dst, n, job_slice_steps=2)
+        job = router.submit_job(AnalyticsRequest(
+            algorithm="bfs", params={"source": 2, "slice_nodes": 16}))
+        slots = []
+        i = 0
+        while not job.ready:
+            slots.append((i % n, router.submit(NeighborsRequest(node=i % n))))
+            router.pump()
+            i += 1
+        router.drain()
+        assert np.array_equal(job.result().value, mono.value)
+        engine = QueryEngine(packed)
+        for node, slot in slots:
+            assert slot.status == DONE
+            assert np.array_equal(slot.result(), engine.neighbors([node])[0])
+
+    def test_routed_pagerank_matches_monolithic(self, edges, packed):
+        src, dst, n = edges
+        mono = run("pagerank", packed, max_iter=6)
+        router = self._router(src, dst, n)
+        job = router.submit_job(AnalyticsRequest(
+            algorithm="pagerank", params={"max_iter": 6}))
+        router.drain()
+        assert np.allclose(job.result().value, mono.value, atol=1e-12)
+
+    def test_router_unknown_algorithm_raises_at_submit(self, edges):
+        src, dst, n = edges
+        router = self._router(src, dst, n)
+        with pytest.raises(ValidationError, match="unknown algorithm"):
+            router.submit_job(AnalyticsRequest(algorithm="nope"))
+        assert router.active_jobs == 0

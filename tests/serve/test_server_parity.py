@@ -27,6 +27,7 @@ from repro.serve import (
     GraphQueryServer,
     ManualClock,
     NeighborsRequest,
+    ServerConfig,
 )
 
 STORE_BUILDERS = {
@@ -104,9 +105,11 @@ def test_served_replies_bit_exact(store_name, exec_name, make_executor, data, ed
     server = GraphQueryServer(
         store,
         make_executor(),
-        max_batch_size=data.draw(st.integers(1, 8)),
-        max_wait_ns=float(data.draw(st.integers(0, 500))),
-        queue_capacity=1 << 16,
+        config=ServerConfig(
+            max_batch_size=data.draw(st.integers(1, 8)),
+            max_wait_ns=float(data.draw(st.integers(0, 500))),
+            queue_capacity=1 << 16,
+        ),
         clock=clock,
     )
     slots = []
@@ -133,10 +136,12 @@ def test_every_ticket_resolved_exactly_once(policy, data, edges):
     clock = ManualClock()
     server = GraphQueryServer(
         store,
-        max_batch_size=data.draw(st.integers(1, 6)),
-        max_wait_ns=float(data.draw(st.integers(0, 1000))),
-        queue_capacity=data.draw(st.integers(1, 6)),
-        policy=policy,
+        config=ServerConfig(
+            max_batch_size=data.draw(st.integers(1, 6)),
+            max_wait_ns=float(data.draw(st.integers(0, 1000))),
+            queue_capacity=data.draw(st.integers(1, 6)),
+            policy=policy,
+        ),
         clock=clock,
     )
     slots = []
@@ -180,14 +185,14 @@ class TestServerSurface:
     def test_double_submit_rejected(self, packed):
         from repro.errors import ValidationError
 
-        server = GraphQueryServer(packed, max_batch_size=1)
+        server = GraphQueryServer(packed, config=ServerConfig(max_batch_size=1))
         req = NeighborsRequest(node=0)
         server.submit(req)
         with pytest.raises(ValidationError):
             server.submit(req)
 
     def test_cache_elements_wraps_store(self, packed):
-        server = GraphQueryServer(packed, cache_elements=1000)
+        server = GraphQueryServer(packed, config=ServerConfig(cache_elements=1000))
         assert server.row_cache is not None
         assert server.row_cache.store is packed
         server.submit(NeighborsRequest(node=3))
@@ -198,8 +203,9 @@ class TestServerSurface:
     def test_dedup_identical_results_per_ticket(self, packed):
         """Dedup routes duplicate tickets to one lane; both replies are
         the (bit-exact) row."""
-        server = GraphQueryServer(packed, max_batch_size=4,
-                                  max_wait_ns=1 << 40, clock=ManualClock())
+        server = GraphQueryServer(
+            packed, config=ServerConfig(max_batch_size=4, max_wait_ns=1 << 40),
+            clock=ManualClock())
         a = server.submit(NeighborsRequest(node=5))
         b = server.submit(NeighborsRequest(node=5))
         server.drain()
@@ -208,8 +214,9 @@ class TestServerSurface:
 
     def test_timestamps_ordered(self, packed):
         clock = ManualClock()
-        server = GraphQueryServer(packed, max_batch_size=10,
-                                  max_wait_ns=500, clock=clock)
+        server = GraphQueryServer(
+            packed, config=ServerConfig(max_batch_size=10, max_wait_ns=500),
+            clock=clock)
         slot = server.submit(NeighborsRequest(node=1))
         clock.advance(2_000)
         server.pump(clock())

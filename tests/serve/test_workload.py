@@ -11,6 +11,7 @@ from repro.serve import (
     GraphQueryServer,
     ManualClock,
     NeighborsRequest,
+    ServerConfig,
     replay,
     synthetic_workload,
     zipf_nodes,
@@ -92,8 +93,9 @@ class TestReplay:
     def test_replay_serves_everything_deterministically(self, store):
         def run():
             clock = ManualClock()
-            server = GraphQueryServer(store, max_batch_size=8,
-                                      max_wait_ns=2_000, clock=clock)
+            server = GraphQueryServer(
+                store, config=ServerConfig(max_batch_size=8, max_wait_ns=2_000),
+                clock=clock)
             wl = synthetic_workload(300, store.num_nodes,
                                     mean_interarrival_ns=500,
                                     edge_fraction=0.3, seed=11)

@@ -18,6 +18,7 @@ from repro.serve import (
     GraphQueryServer,
     ManualClock,
     NeighborsRequest,
+    ServerConfig,
     WriteRequest,
     replay,
     synthetic_workload,
@@ -61,7 +62,8 @@ class TestWriteRouting:
     def test_delete_then_read(self, lsm, edges):
         src, dst, _ = edges
         u, v = int(src[0]), int(dst[0])
-        server = GraphQueryServer(lsm, max_batch_size=1, clock=ManualClock())
+        server = GraphQueryServer(lsm, config=ServerConfig(max_batch_size=1),
+                                   clock=ManualClock())
         assert server.submit(WriteRequest(op="delete", u=u, v=v)).result() is True
         read = server.submit(EdgeRequest(u=u, v=v))
         server.drain()
@@ -81,7 +83,8 @@ class TestWriteRouting:
             server.submit(WriteRequest(op="insert", u=0, v=1))
 
     def test_writes_do_not_pollute_read_metrics(self, lsm):
-        server = GraphQueryServer(lsm, max_batch_size=1, clock=ManualClock())
+        server = GraphQueryServer(lsm, config=ServerConfig(max_batch_size=1),
+                                   clock=ManualClock())
         server.submit(WriteRequest(op="insert", u=1, v=2))
         server.submit(NeighborsRequest(node=1))
         server.drain()
@@ -94,7 +97,8 @@ class TestWriteRouting:
 class TestReadYourWrites:
     def test_cache_invalidated_on_write(self, lsm):
         server = GraphQueryServer(
-            lsm, max_batch_size=1, cache_elements=10_000, clock=ManualClock()
+            lsm, config=ServerConfig(max_batch_size=1, cache_elements=10_000),
+            clock=ManualClock()
         )
         v = next(x for x in range(50) if not lsm.has_edge(2, x))
         before = server.submit(NeighborsRequest(node=2))
@@ -122,7 +126,8 @@ class TestReadYourWrites:
     def test_compaction_under_cache_stays_bit_exact(self, lsm):
         lsm.compact_watermark = 8
         server = GraphQueryServer(
-            lsm, max_batch_size=1, cache_elements=10_000, clock=ManualClock()
+            lsm, config=ServerConfig(max_batch_size=1, cache_elements=10_000),
+            clock=ManualClock()
         )
         rng = np.random.default_rng(4)
         for _ in range(40):
@@ -157,7 +162,8 @@ class TestWriteMetrics:
         assert snap.memtable_edges == len(lsm.memtable)
 
     def test_write_fields_zero_for_read_only_traffic(self, lsm):
-        server = GraphQueryServer(lsm, max_batch_size=1, clock=ManualClock())
+        server = GraphQueryServer(lsm, config=ServerConfig(max_batch_size=1),
+                                   clock=ManualClock())
         server.submit(NeighborsRequest(node=0))
         server.drain()
         snap = server.snapshot()
@@ -198,7 +204,7 @@ class TestMixedWorkload:
         src, dst, n = edges
         store = build_lsm_store(src, dst, n, compact_watermark=64)
         server = GraphQueryServer(
-            store, cache_elements=4096, clock=ManualClock()
+            store, config=ServerConfig(cache_elements=4096), clock=ManualClock()
         )
         wl = synthetic_workload(
             1500, n, edges=(src, dst), write_fraction=0.1, seed=11
@@ -225,7 +231,8 @@ class TestMixedWorkload:
 
 class TestLsmSegmentRouting:
     def test_server_unwraps_rowcache_for_write_target(self, lsm):
-        server = GraphQueryServer(lsm, cache_elements=1024, clock=ManualClock())
+        server = GraphQueryServer(lsm, config=ServerConfig(cache_elements=1024),
+                                   clock=ManualClock())
         assert server._write_target is lsm
 
     def test_multi_segment_store_serves(self, edges):
@@ -233,7 +240,8 @@ class TestLsmSegmentRouting:
         store = build_lsm_store(src, dst, n)
         store.insert_edge(0, 33)
         store.flush()
-        server = GraphQueryServer(store, max_batch_size=1, clock=ManualClock())
+        server = GraphQueryServer(store, config=ServerConfig(max_batch_size=1),
+                                   clock=ManualClock())
         slot = server.submit(NeighborsRequest(node=0))
         server.drain()
         assert np.array_equal(slot.result(), store.neighbors(0))

@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.serve",
     "repro.cluster",
+    "repro.algorithms",
 ]
 
 
