@@ -19,7 +19,6 @@ The baseline is recorded in ``BENCH_analytics.json`` under
 ``BENCH_WRITE_BASELINE=1``.
 """
 
-import json
 import os
 import time
 from pathlib import Path
@@ -42,7 +41,7 @@ from repro.serve import (
     open_server,
 )
 
-from conftest import report
+from conftest import baseline_record, report
 
 PROCESSORS = (1, 2, 4)
 SPEEDUP_FLOOR = 1.5  # T_1 / T_4, per algorithm
@@ -80,15 +79,13 @@ def _curve(name: str, store, **params) -> SpeedupCurve:
     return SpeedupCurve(name, times)
 
 
-def _merge_baseline(section: str, payload: dict) -> None:
+def _merge_baseline(section: str, payload: dict, *, gate: str,
+                    measured: float) -> None:
     if os.environ.get("BENCH_WRITE_BASELINE") or not BASELINE_PATH.exists():
-        existing = (
-            json.loads(BASELINE_PATH.read_text())
-            if BASELINE_PATH.exists()
-            else {}
+        baseline_record(
+            BASELINE_PATH, {section: payload}, name="analytics",
+            gate=gate, measured=measured,
         )
-        existing[section] = payload
-        BASELINE_PATH.write_text(json.dumps(existing, indent=2) + "\n")
 
 
 def test_analytics_speedup_curves(benchmark, pokec_packed, er_packed):
@@ -125,7 +122,8 @@ def test_analytics_speedup_curves(benchmark, pokec_packed, er_packed):
             name: {str(p): round(t, 4) for p, t in sorted(c.times_ms.items())}
             for name, c in curves.items()
         },
-    })
+    }, gate=f"every algorithm >= {SPEEDUP_FLOOR}x at p=4",
+       measured=min(ratios.values()))
 
 
 def _client_p99_ms(server, nodes, job=None) -> float:
@@ -188,4 +186,5 @@ def test_job_coexists_with_serving(pokec_edges, pokec_packed):
         "p99_ms_with_job": round(mixed, 4),
         "degradation_factor": round(factor, 3),
         "cap": P99_DEGRADE_CAP,
-    })
+    }, gate=f"client p99 degrades <= {P99_DEGRADE_CAP:.0f}x under a job",
+       measured=factor)

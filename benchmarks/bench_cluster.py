@@ -17,7 +17,6 @@ The baseline is recorded in ``BENCH_cluster.json`` under
 ``BENCH_WRITE_BASELINE=1``.
 """
 
-import json
 import os
 from pathlib import Path
 
@@ -39,7 +38,7 @@ from repro.serve import (
     synthetic_workload,
 )
 
-from conftest import report
+from conftest import baseline_record, report
 
 N_REQUESTS = 10_000
 # a rate one worker cannot sustain (~230k qps capacity on the pokec
@@ -144,13 +143,11 @@ def test_scaling_gate(graph, medium_standin):
         "scaling_1_to_4": scaling,
     }
     if os.environ.get("BENCH_WRITE_BASELINE") or not BASELINE_PATH.exists():
-        existing = (
-            json.loads(BASELINE_PATH.read_text())
-            if BASELINE_PATH.exists()
-            else {}
+        baseline_record(
+            BASELINE_PATH, {"scaling": baseline}, name="cluster",
+            gate=f"4-worker qps >= {SCALING_FLOOR}x 1-worker",
+            measured=scaling,
         )
-        existing["scaling"] = baseline
-        BASELINE_PATH.write_text(json.dumps(existing, indent=2) + "\n")
 
     for _, res in runs.values():
         assert res.requests == N_REQUESTS
@@ -202,13 +199,11 @@ def test_hedging_cuts_tail_latency(graph):
         "duplicate_completions": router.duplicate_completions,
     }
     if os.environ.get("BENCH_WRITE_BASELINE") or not BASELINE_PATH.exists():
-        existing = (
-            json.loads(BASELINE_PATH.read_text())
-            if BASELINE_PATH.exists()
-            else {}
+        baseline_record(
+            BASELINE_PATH, {"hedging": baseline}, name="cluster",
+            gate=f"hedged p99 >= {HEDGE_TAIL_FLOOR}x better than unhedged",
+            measured=improvement,
         )
-        existing["hedging"] = baseline
-        BASELINE_PATH.write_text(json.dumps(existing, indent=2) + "\n")
 
     assert improvement >= HEDGE_TAIL_FLOOR, (
         f"hedging improved p99 only {improvement:.2f}x"

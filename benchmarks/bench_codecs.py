@@ -14,7 +14,6 @@ everywhere).  Baselines land in ``BENCH_codecs.json`` under
 ``BENCH_WRITE_BASELINE=1`` (or when the file is missing).
 """
 
-import json
 import os
 import time
 from pathlib import Path
@@ -28,7 +27,7 @@ from repro import open_store
 from repro.query import batch_edge_existence
 from repro.serve import zipf_nodes
 
-from conftest import report
+from conftest import baseline_record, report
 
 N_QUERIES = 10_000
 SKEW = 1.2
@@ -221,7 +220,12 @@ def test_compact_pipeline_gate(mono, compact_reordered, workload):
     # refresh the committed baseline only on request — a plain test run
     # must not dirty the working tree with this machine's numbers
     if os.environ.get("BENCH_WRITE_BASELINE") or not BASELINE_PATH.exists():
-        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        baseline_record(
+            BASELINE_PATH, baseline, name="codecs",
+            gate=(f"<= {BITS_PER_EDGE_GATE} bits/edge and "
+                  f">= {QPS_FLOOR}x packed-fixed qps"),
+            measured=ratio,
+        )
 
     report(
         f"Compact pipeline gate ({N_QUERIES}-query Zipf workload)",

@@ -14,7 +14,6 @@ baselines land in ``BENCH_disk.json`` under ``BENCH_WRITE_BASELINE=1``
 (or when the file is missing).
 """
 
-import json
 import os
 import time
 import tracemalloc
@@ -30,7 +29,7 @@ from repro.disk import DiskStore, build_disk_store, write_disk_store
 from repro.query import batch_edge_existence
 from repro.serve import zipf_nodes
 
-from conftest import report
+from conftest import baseline_record, report
 
 N_QUERIES = 10_000
 SKEW = 1.2
@@ -145,7 +144,11 @@ def test_zipf_parity_gate(mono, disk, workload):
     # refresh the committed baseline only on request — a plain test run
     # must not dirty the working tree with this machine's numbers
     if os.environ.get("BENCH_WRITE_BASELINE") or not BASELINE_PATH.exists():
-        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        baseline_record(
+            BASELINE_PATH, baseline, name="disk",
+            gate=f"mmap qps >= {PARITY_FLOOR}x in-memory",
+            measured=ratio,
+        )
 
     report(
         f"Disk store vs in-memory packed ({N_QUERIES}-query Zipf workload)",

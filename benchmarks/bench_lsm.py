@@ -8,7 +8,6 @@ a from-scratch rebuild of the same logical edge set.  The baseline is
 recorded in ``BENCH_lsm.json`` under ``BENCH_WRITE_BASELINE=1``.
 """
 
-import json
 import os
 import time
 from pathlib import Path
@@ -29,7 +28,7 @@ from repro.serve import (
     synthetic_workload,
 )
 
-from conftest import report
+from conftest import baseline_record, report
 
 N_REQUESTS = 10_000
 WRITE_FRACTION = 0.1
@@ -160,7 +159,11 @@ def test_write_mix_gate(packed, schedules, medium_standin):
         "read_qps_ratio": ratio,
     }
     if os.environ.get("BENCH_WRITE_BASELINE") or not BASELINE_PATH.exists():
-        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        baseline_record(
+            BASELINE_PATH, baseline, name="lsm",
+            gate=f"mixed read qps >= {READ_QPS_FLOOR}x read-only",
+            measured=ratio,
+        )
 
     report(
         f"Read throughput under live ingest ({N_REQUESTS} Zipf requests, "

@@ -1,0 +1,167 @@
+"""Observability overhead — tracing must not tax the serve path.
+
+The gate: serving the 10k-request Zipf workload with the tracer on
+(``sample_every=16``, the DESIGN.md §13 recommended production
+setting) must keep >= 0.9x the tracer-off throughput (relaxed to
+0.75x on noisy shared CI runners).  Both modes replay on a
+ManualClock so batch boundaries are identical and the ratio measures
+pure tracer cost; repeats are interleaved so clock drift hits every
+mode equally.  Also records the full-sampling cost for the overhead
+table, and sanity-checks that the traced run actually produced spans
+with cost attribution — a "free" tracer that records nothing would
+pass any overhead gate.
+
+Baseline lands in ``BENCH_obs.json`` under ``BENCH_WRITE_BASELINE=1``
+(or when the file is missing).
+"""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import open_store
+from repro.analysis.tables import render_table
+from repro.obs import ObsConfig, rollup_spans
+from repro.serve import (
+    GraphQueryServer,
+    ManualClock,
+    ServerConfig,
+    replay,
+    synthetic_workload,
+)
+
+from conftest import baseline_record, report
+
+N_REQUESTS = 20_000
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+# Local acceptance bar: sampled tracing costs <= 10% throughput.  CI
+# runners are noisy enough to flake a 0.9x floor on a ~1s measurement,
+# so CI asserts 0.75x — a real regression (tracing every span on the
+# hot path unsampled) shows up far below that.
+OVERHEAD_FLOOR = 0.75 if os.environ.get("CI") else 0.9
+SAMPLE_EVERY = 16
+REPEATS = 6
+
+
+@pytest.fixture(scope="module")
+def packed(medium_standin):
+    ds = medium_standin
+    return open_store("packed", ds.sources, ds.destinations, ds.num_nodes)
+
+
+@pytest.fixture(scope="module")
+def zipf_schedule(medium_standin):
+    ds = medium_standin
+
+    def make(seed=17):
+        return synthetic_workload(
+            N_REQUESTS,
+            ds.num_nodes,
+            kind="zipf",
+            skew=1.2,
+            edge_fraction=0.25,
+            mean_interarrival_ns=1_000.0,
+            edges=(ds.sources, ds.destinations),
+            seed=seed,
+        )
+
+    return make
+
+
+def _serve(store, workload, obs):
+    """Virtual-time replay, wall-clock timed: arrivals advance a
+    ManualClock so every mode sees identical batch boundaries, and the
+    measured seconds are serving compute (plus tracer) alone."""
+    server = GraphQueryServer(
+        store,
+        config=ServerConfig(
+            max_batch_size=256,
+            max_wait_ns=500e3,
+            queue_capacity=1 << 16,
+            policy="block",
+            obs=obs,
+        ),
+        clock=ManualClock(),
+    )
+    t0 = time.perf_counter()
+    replay(server, workload)
+    return server, time.perf_counter() - t0
+
+
+def test_tracer_overhead_gate(packed, zipf_schedule):
+    """The ISSUE gate: tracer-on serving >= 0.9x tracer-off throughput."""
+    modes = {
+        "off": None,
+        "sampled": ObsConfig(sample_every=SAMPLE_EVERY),
+        "full": ObsConfig(),
+    }
+    best = {k: (float("inf"), None) for k in modes}
+    for label, obs in modes.items():  # warmup pass, untimed
+        _serve(packed, zipf_schedule(seed=11), obs)
+    for i in range(REPEATS):
+        for label, obs in modes.items():
+            srv, t = _serve(packed, zipf_schedule(seed=17 + i), obs)
+            if t < best[label][0]:
+                best[label] = (t, srv)
+    off_s = best["off"][0]
+    sampled_s, sampled_srv = best["sampled"]
+    full_s, full_srv = best["full"]
+
+    ratio_sampled = off_s / sampled_s
+    ratio_full = off_s / full_s
+
+    # the traced runs must have actually traced: sampled roots with
+    # kernel cost attached, not a no-op tracer winning by forfeit
+    spans = sampled_srv.tracer.spans()
+    assert any(s.name == "request" for s in spans)
+    kernel_rows = [r for r in rollup_spans(spans)
+                   if r.layer == "query" and r.cost_ns > 0]
+    assert kernel_rows, "sampled run attributed no kernel cost"
+    assert len(full_srv.tracer.spans()) > len(spans)
+
+    baseline = {
+        "workload": f"zipf(1.2), {N_REQUESTS} requests, 25% edge queries",
+        "store": repr(packed),
+        "tracer_off_s": off_s,
+        "sampled": {
+            "sample_every": SAMPLE_EVERY,
+            "seconds": sampled_s,
+            "throughput_ratio": ratio_sampled,
+            "spans": len(spans),
+        },
+        "full_sampling": {
+            "seconds": full_s,
+            "throughput_ratio": ratio_full,
+            "spans": len(full_srv.tracer.spans()),
+            "dropped": full_srv.tracer.dropped,
+        },
+    }
+    if os.environ.get("BENCH_WRITE_BASELINE") or not BASELINE_PATH.exists():
+        baseline_record(
+            BASELINE_PATH, baseline, name="obs",
+            gate=(f"tracer on (sample_every={SAMPLE_EVERY}) >= "
+                  f"{OVERHEAD_FLOOR}x tracer-off throughput"),
+            measured=ratio_sampled,
+        )
+
+    report(
+        f"Tracer overhead ({N_REQUESTS} Zipf requests, "
+        f"interleaved best of {REPEATS})",
+        render_table(
+            ["mode", "seconds", "throughput vs off"],
+            [
+                ["tracer off", f"{off_s:.3f}", "1.00x"],
+                [f"sampled (every {SAMPLE_EVERY})", f"{sampled_s:.3f}",
+                 f"{ratio_sampled:.2f}x"],
+                ["full sampling", f"{full_s:.3f}", f"{ratio_full:.2f}x"],
+            ],
+            title=f"sampled tracing floor {OVERHEAD_FLOOR}x",
+        ),
+    )
+    assert ratio_sampled >= OVERHEAD_FLOOR, (
+        f"sampled tracing cut throughput to {ratio_sampled:.2f}x "
+        f"(floor {OVERHEAD_FLOOR}x)"
+    )

@@ -12,7 +12,6 @@ batch, and records the throughput baseline in ``BENCH_queries.json``
 so future PRs can track the query-path trajectory.
 """
 
-import json
 import os
 import time
 from pathlib import Path
@@ -31,7 +30,7 @@ from repro.query import (
 )
 from repro.query.edges import _membership
 
-from conftest import report
+from conftest import baseline_record, report
 
 N_QUERIES = 2_000
 BATCH_N = 10_000  # scalar-vs-batch comparison size (acceptance: >= 10k)
@@ -172,7 +171,11 @@ def test_scalar_vs_batch_throughput(stores, medium_standin):
     # refresh the committed baseline only on request — a plain test run
     # must not dirty the working tree with this machine's numbers
     if os.environ.get("BENCH_WRITE_BASELINE") or not BASELINE_PATH.exists():
-        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        baseline_record(
+            BASELINE_PATH, baseline, name="queries",
+            gate=f"every kernel >= {SPEEDUP_FLOOR}x its scalar path",
+            measured=min(r["speedup"] for r in results.values()),
+        )
 
     rows = [
         [name, f"{r['scalar_s'] * 1e3:.1f}", f"{r['batch_s'] * 1e3:.1f}",

@@ -13,7 +13,6 @@ is fully deterministic: larger windows buy bigger batches (throughput)
 at the price of queueing latency.
 """
 
-import json
 import os
 import time
 from pathlib import Path
@@ -35,7 +34,7 @@ from repro.serve import (
     synthetic_workload,
 )
 
-from conftest import report
+from conftest import baseline_record, report
 
 N_REQUESTS = 10_000
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
@@ -124,7 +123,11 @@ def test_coalesced_vs_single_request_throughput(packed, zipf_schedule):
         "speedup": speedup,
     }
     if os.environ.get("BENCH_WRITE_BASELINE") or not BASELINE_PATH.exists():
-        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        baseline_record(
+            BASELINE_PATH, baseline, name="serve",
+            gate=f"coalesced >= {SPEEDUP_FLOOR}x single-request throughput",
+            measured=speedup,
+        )
 
     report(
         f"Serving throughput: coalesced vs single-request ({N_REQUESTS} Zipf requests)",

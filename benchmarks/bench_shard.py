@@ -13,7 +13,6 @@ baseline lands in ``BENCH_shard.json`` under ``BENCH_WRITE_BASELINE=1``
 (or when the file is missing).
 """
 
-import json
 import os
 import time
 from pathlib import Path
@@ -27,7 +26,7 @@ from repro.parallel import SerialExecutor, SimulatedMachine
 from repro.query import batch_edge_existence, batch_neighbors
 from repro.serve import zipf_nodes
 
-from conftest import report
+from conftest import baseline_record, report
 
 N_QUERIES = 10_000
 SKEW = 1.2
@@ -154,7 +153,11 @@ def test_zipf_parity_gate(mono, medium_standin, workload):
     # refresh the committed baseline only on request — a plain test run
     # must not dirty the working tree with this machine's numbers
     if os.environ.get("BENCH_WRITE_BASELINE") or not BASELINE_PATH.exists():
-        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        baseline_record(
+            BASELINE_PATH, baseline, name="shard",
+            gate=f"sharded qps >= {PARITY_FLOOR}x monolithic",
+            measured=gate_ratio,
+        )
 
     report(
         f"Sharded scatter-gather vs monolithic ({N_QUERIES}-query Zipf workload)",

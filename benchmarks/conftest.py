@@ -9,6 +9,9 @@ out of the timed regions.
 
 from __future__ import annotations
 
+import json
+import time
+
 import numpy as np
 import pytest
 
@@ -20,6 +23,26 @@ _REPORTS: list[tuple[str, str]] = []
 def report(title: str, body: str) -> None:
     """Queue a rendered artifact for the end-of-run summary."""
     _REPORTS.append((title, body))
+
+
+def baseline_record(path, payload: dict, *, name: str, gate: str,
+                    measured: float) -> None:
+    """Write (or update in place) a ``BENCH_*.json`` baseline.
+
+    Every baseline carries the shared schema keys ``name`` (which
+    bench), ``gate`` (the acceptance bar, human-readable), ``measured``
+    (the number the gate was checked against), and ``date`` — the keys
+    ``check_bench_baselines.py`` validates in CI — plus the bench's own
+    *payload* merged on top.  Existing files are read first so
+    multi-test benches each keep their own sections.
+    """
+    doc = json.loads(path.read_text()) if path.exists() else {}
+    doc.update(payload)
+    doc["name"] = name
+    doc["gate"] = gate
+    doc["measured"] = float(measured)
+    doc["date"] = time.strftime("%Y-%m-%d")
+    path.write_text(json.dumps(doc, indent=2) + "\n")
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Validate the shared schema of every ``BENCH_*.json`` baseline.
+
+Each benchmark records its acceptance baseline at the repo root via
+``benchmarks/conftest.baseline_record``, which stamps four shared keys
+on top of the bench-specific payload:
+
+* ``name``     — the subsystem the baseline belongs to ("serve", "lsm", ...)
+* ``gate``     — the acceptance criterion, as one human-readable line
+* ``measured`` — the number the gate was checked against (a float)
+* ``date``     — when the baseline was last recorded (YYYY-MM-DD)
+
+CI runs this script so a baseline written by hand (or by an older
+bench) cannot silently drop the keys the analysis tooling and release
+notes read.  Exits non-zero with one line per problem.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REQUIRED = ("name", "gate", "measured", "date")
+ROOT = Path(__file__).resolve().parent
+
+
+def check_baseline(path: Path) -> list[str]:
+    """Problems with one baseline file (empty list when it is clean)."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path.name}: unreadable ({exc})"]
+    if not isinstance(doc, dict):
+        return [f"{path.name}: top level must be a JSON object"]
+    problems = []
+    for key in REQUIRED:
+        if key not in doc:
+            problems.append(f"{path.name}: missing required key {key!r}")
+    if not isinstance(doc.get("measured", 0.0), (int, float)):
+        problems.append(f"{path.name}: 'measured' must be a number")
+    for key in ("name", "gate", "date"):
+        if key in doc and not isinstance(doc[key], str):
+            problems.append(f"{path.name}: {key!r} must be a string")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    paths = sorted(ROOT.glob("BENCH_*.json"))
+    if not paths:
+        print("no BENCH_*.json baselines found", file=sys.stderr)
+        return 1
+    problems = [p for path in paths for p in check_baseline(path)]
+    for line in problems:
+        print(line, file=sys.stderr)
+    if not problems:
+        print(f"{len(paths)} baselines carry the shared schema "
+              f"({', '.join(REQUIRED)})")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

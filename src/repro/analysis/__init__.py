@@ -18,6 +18,7 @@ from .experiments import (
     run_fig6,
     run_table2,
 )
+from .obs import render_flamegraph, render_rollup, render_span_tree
 from .report import build_report, write_report
 from .memory import (
     StoreFootprint,
@@ -89,6 +90,9 @@ __all__ = [
     "render_serve_histograms",
     "render_serve_metrics",
     "render_serve_report",
+    "render_flamegraph",
+    "render_rollup",
+    "render_span_tree",
     "TraceSummary",
     "render_cache_stats",
     "render_trace",

@@ -1,0 +1,96 @@
+"""Table rendering for traces: span trees, rollups, flamegraphs.
+
+The read side of :mod:`repro.obs` — takes the flat span list a
+:class:`~repro.obs.Tracer` accumulated and renders the three views the
+CLI ``trace`` subcommand prints: the per-request span **tree** (what
+happened, in parent order), the **rollup** (where the cost went, by
+layer and phase), and the **folded flamegraph** lines standard
+flamegraph tooling consumes.  Same aligned-table idiom as every other
+renderer in :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+from ..obs import children_index, flamegraph_folded, rollup_spans
+from ..parallel.cost import DEFAULT_COST_MODEL, CostModel
+from .tables import render_table
+
+__all__ = ["render_span_tree", "render_rollup", "render_flamegraph"]
+
+
+def render_span_tree(spans, *, root=None, title: str = "trace",
+                     cost_model: CostModel = DEFAULT_COST_MODEL) -> str:
+    """One trace as an indented tree table.
+
+    *root* restricts rendering to one root span id; by default every
+    root (``parent_id is None``) in *spans* is shown.  Each row names
+    the span (indented by depth), its layer, the owning ticket, the
+    span's duration on the tracer's clock, and its own charged cost
+    priced through *cost_model*.
+    """
+    index = children_index(spans)
+    rows: list[list] = []
+
+    def walk(span, depth):
+        rows.append([
+            "  " * depth + span.name,
+            span.layer,
+            span.ticket if span.ticket >= 0 else "-",
+            f"{span.duration_ns / 1e3:.1f}",
+            f"{cost_model.time_ns(span.cost):.0f}",
+        ])
+        for child in index.get(span.span_id, []):
+            walk(child, depth + 1)
+
+    roots = index.get(None, [])
+    if root is not None:
+        roots = [s for s in spans if s.span_id == root]
+    for span in roots:
+        walk(span, 0)
+    if not rows:
+        rows.append(["(no spans)", "-", "-", "-", "-"])
+    return render_table(
+        ["span", "layer", "ticket", "wall (us)", "cost (ns)"],
+        rows, title=title,
+    )
+
+
+def render_rollup(spans, *, title: str = "cost rollup",
+                  cost_model: CostModel = DEFAULT_COST_MODEL) -> str:
+    """Flamegraph-style aggregation by layer/phase, heaviest first.
+
+    The whole-run attribution table: one row per ``(layer, name)``
+    phase with span count, summed wall time, the dominant cost
+    channels, and the phase's cost-model nanoseconds — how decode
+    compares to gather, queue wait to hedge wait, across every traced
+    request at once.
+    """
+    rows = []
+    for r in rollup_spans(spans, cost_model=cost_model):
+        channels = []
+        for ch in ("reads", "writes", "bit_ops", "copy_bytes",
+                   "page_touches", "flops"):
+            v = getattr(r.cost, ch)
+            if v:
+                channels.append(f"{ch}={v:.0f}")
+        rows.append([
+            r.key, r.spans, f"{r.wall_ns / 1e3:.1f}",
+            f"{r.cost_ns:.0f}", " ".join(channels) or "-",
+        ])
+    if not rows:
+        rows.append(["(no spans)", 0, "-", "-", "-"])
+    return render_table(
+        ["layer:phase", "spans", "wall (us)", "cost (ns)", "channels"],
+        rows, title=title,
+    )
+
+
+def render_flamegraph(spans, *,
+                      cost_model: CostModel = DEFAULT_COST_MODEL) -> str:
+    """The trace as folded flamegraph stacks (one semicolon path/line).
+
+    The exact format ``flamegraph.pl``/speedscope accept; values are
+    each span's own cost in cost-model nanoseconds.
+    """
+    lines = flamegraph_folded(spans, cost_model=cost_model)
+    return "\n".join(lines) if lines else "(no cost-bearing spans)"

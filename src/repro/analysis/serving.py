@@ -32,9 +32,18 @@ def render_serve_metrics(snap, *, title: str = "serve metrics") -> str:
     rows = [
         ["accepted", snap.accepted],
         ["completed", snap.completed],
-        ["rejected", snap.rejected],
-        ["shed", snap.shed],
-        ["blocked (backpressure)", snap.blocked],
+    ]
+    if getattr(snap, "admission_enabled", True):
+        rows += [
+            ["rejected", snap.rejected],
+            ["shed", snap.shed],
+            ["blocked (backpressure)", snap.blocked],
+        ]
+    else:
+        # zero rejects from a server with no admission controller is
+        # not the same claim as zero rejects under admission — say so
+        rows.append(["admission", "off (no controller wired)"])
+    rows += [
         ["batches dispatched", snap.batches],
         ["mean batch size", f"{snap.mean_batch_size:.1f}"],
         ["close reasons", " ".join(

@@ -21,12 +21,18 @@ Commands
   cost-model speed-up curve.
 * ``bench`` — regenerate Table II or Figures 6-7 from the paper.
 * ``serve-bench`` — coalesced vs single-request serving throughput on
-  a synthetic open-loop workload (the :mod:`repro.serve` subsystem).
+  a synthetic open-loop workload (the :mod:`repro.serve` subsystem);
+  ``--json`` emits the snapshots machine-readably.
+* ``trace`` — serve a small traced workload (monolithic or clustered)
+  and print where the time goes: per-request span trees, the
+  layer/phase cost rollup, and folded flamegraph stacks
+  (:mod:`repro.obs`); ``--json`` emits the raw spans.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -149,6 +155,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("info", help="inspect a store (.npz or disk directory)")
     info.add_argument("input", help=".npz or disk directory from 'build'")
+    info.add_argument("--json", action="store_true",
+                      help="emit the store facts as JSON instead of text")
 
     query = sub.add_parser("query", help="query a store (.npz or disk directory)")
     query.add_argument("input", help=".npz or disk directory from 'build'")
@@ -254,7 +262,46 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--slo-p99-ms", type=float, default=5.0,
                        help="declared p99 latency SLO for the cluster "
                        "load harness (milliseconds)")
+    serve.add_argument("--json", action="store_true",
+                       help="emit the run's snapshots as JSON instead of "
+                       "tables (same schema as obs registry snapshots)")
     _add_shard_flags(serve)
+
+    trace = sub.add_parser(
+        "trace",
+        help="serve a traced workload and print where the time goes "
+        "(span trees + cost rollup, repro.obs)",
+    )
+    trace.add_argument("--input", default=None,
+                       help=".npz or disk directory to serve "
+                       "(default: generate R-MAT)")
+    trace.add_argument("--nodes", type=int, default=1 << 10,
+                       help="generated graph nodes (ignored with --input)")
+    trace.add_argument("--edges", type=int, default=8_000,
+                       help="generated graph edges (ignored with --input)")
+    trace.add_argument("--requests", type=int, default=64)
+    trace.add_argument("--batch", type=int, default=16,
+                       help="coalescer max batch size")
+    trace.add_argument("--wait-us", type=float, default=200.0,
+                       help="coalescer max wait window (microseconds)")
+    trace.add_argument("--workload", choices=["zipf", "uniform"],
+                       default="zipf")
+    trace.add_argument("--skew", type=float, default=1.2)
+    trace.add_argument("--edge-fraction", type=float, default=0.25)
+    trace.add_argument("--workers", type=int, default=1,
+                       help="> 1 traces the scatter-gather cluster path")
+    trace.add_argument("--replicas", type=int, default=1)
+    trace.add_argument("--partitioner", choices=sorted(PARTITIONER_KINDS),
+                       default="range")
+    trace.add_argument("--sample-every", type=int, default=1,
+                       help="trace every N-th request (the overhead knob)")
+    trace.add_argument("--capacity", type=int, default=8192,
+                       help="span ring-buffer capacity")
+    trace.add_argument("--trees", type=int, default=3,
+                       help="request span trees to print (table mode)")
+    trace.add_argument("--seed", type=int, default=2023)
+    trace.add_argument("--json", action="store_true",
+                       help="emit raw spans + rollup as JSON")
 
     rep = sub.add_parser("report", help="write the full reproduction report")
     rep.add_argument("output", help="markdown output path")
@@ -429,8 +476,33 @@ def _print_codec_lines(store) -> None:
               f"{row['edges']:,} edges, {per_edge:.2f} bits/edge")
 
 
+def _store_info(store) -> dict:
+    """The facts ``info`` prints, as one JSON-safe dict."""
+    from .obs import to_jsonable
+
+    out = {
+        "kind": type(store).__name__,
+        "store": repr(store),
+        "nodes": int(store.num_nodes),
+        "edges": int(store.num_edges),
+    }
+    for name in ("memory_bytes", "disk_bytes", "bits_per_edge",
+                 "codec_breakdown", "stats"):
+        fn = getattr(store, name, None)
+        if callable(fn):
+            out[name] = to_jsonable(fn())
+    for name in ("ordering", "gap_encoded", "offset_width", "column_width"):
+        value = getattr(store, name, None)
+        if value is not None and not callable(value):
+            out[name] = to_jsonable(value)
+    return out
+
+
 def _cmd_info(args) -> int:
     packed = _load(args.input)
+    if args.json:
+        print(json.dumps(_store_info(packed), indent=2))
+        return 0
     if isinstance(packed, ReorderedStore):
         print(packed)
         print(f"  nodes          : {packed.num_nodes:,}")
@@ -773,6 +845,21 @@ def _cmd_serve_bench_cluster(args) -> int:
     base_router, base = run(config.with_overrides(workers=1, replicas=1))
     router, scaled = run(config)
     speedup = scaled.achieved_qps / max(base.achieved_qps, 1e-9)
+    if args.json:
+        from .obs import to_jsonable
+
+        print(json.dumps({
+            "command": "serve-bench",
+            "mode": "cluster",
+            "workers": args.workers,
+            "replicas": args.replicas,
+            "shards": router.num_shards,
+            "speedup": speedup,
+            "base": to_jsonable(base),
+            "scaled": to_jsonable(scaled),
+            "cluster": to_jsonable(router.cluster_stats()),
+        }, indent=2))
+        return 0
     print(f"cluster: {args.workers} workers x shard replicas "
           f"{args.replicas} ({router.num_shards} shards), "
           f"{len(src):,} edges, {n:,} nodes")
@@ -856,6 +943,20 @@ def _cmd_serve_bench(args) -> int:
     single = single_srv.snapshot(elapsed_s=single_s)
     coal = coal_srv.snapshot(elapsed_s=coal_s)
     speedup = (coal.throughput_rps or 0.0) / max(single.throughput_rps or 1.0, 1e-9)
+    if args.json:
+        from .obs import to_jsonable
+
+        print(json.dumps({
+            "command": "serve-bench",
+            "mode": "monolithic",
+            "store": repr(store),
+            "requests": args.requests,
+            "workload": args.workload,
+            "speedup": speedup,
+            "single": to_jsonable(single),
+            "coalesced": to_jsonable(coal),
+        }, indent=2))
+        return 0
     print(f"store : {store}")
     print(f"served: {args.requests:,} {args.workload} requests "
           f"(edge fraction {args.edge_fraction}), policy={args.policy}")
@@ -873,6 +974,89 @@ def _cmd_serve_bench(args) -> int:
     print()
     print(render_serve_report(coal, coal_srv.row_cache,
                               title="coalesced run metrics"))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Serve a traced workload, then render where the time went."""
+    from .analysis.obs import render_flamegraph, render_rollup, render_span_tree
+    from .obs import ObsConfig, rollup_spans, to_jsonable
+    from .serve import ManualClock, ServerConfig, open_server, synthetic_workload
+
+    obs = ObsConfig(enabled=True, capacity=args.capacity,
+                    sample_every=args.sample_every)
+    cluster = args.workers > 1 or args.replicas > 1
+    common = dict(
+        max_batch_size=args.batch,
+        max_wait_ns=args.wait_us * 1e3,
+        obs=obs,
+    )
+    if args.input:
+        store = _load(args.input)
+        n = int(store.num_nodes)
+        if cluster:
+            from .cluster import extract_edges
+
+            src, dst = extract_edges(store)
+            config = ServerConfig(
+                store_kind="packed", edges=(src, dst, n),
+                store_opts={"sort": True},
+                workers=args.workers, replicas=args.replicas,
+                partitioner=args.partitioner, cluster=True, **common,
+            )
+        else:
+            config = ServerConfig(store=store, **common)
+    else:
+        scale = max(1, int(np.ceil(np.log2(max(2, args.nodes)))))
+        src, dst, n = rmat_edges(
+            scale, args.edges, rng=np.random.default_rng(args.seed)
+        )
+        config = ServerConfig(
+            store_kind="packed", edges=(src, dst, n),
+            store_opts={"sort": True},
+            workers=args.workers, replicas=args.replicas,
+            partitioner=args.partitioner, cluster=cluster, **common,
+        )
+    clock = ManualClock()
+    server = open_server(config, clock=clock)
+    workload = synthetic_workload(
+        args.requests, n, kind=args.workload, skew=args.skew,
+        edge_fraction=args.edge_fraction,
+        mean_interarrival_ns=args.wait_us * 1e3 / max(args.batch, 1),
+        seed=args.seed,
+    )
+    for arrival_ns, request in workload:
+        clock.advance_to(float(arrival_ns))
+        server.submit(request)
+        server.pump(clock())
+    server.drain()
+    tracer = server.tracer
+    spans = tracer.spans()
+    if args.json:
+        print(json.dumps({
+            "command": "trace",
+            "mode": "cluster" if cluster else "monolithic",
+            "sample_every": args.sample_every,
+            "dropped_spans": tracer.dropped,
+            "spans": [s.to_dict() for s in spans],
+            "rollup": [to_jsonable(r) for r in rollup_spans(spans)],
+        }, indent=2))
+        return 0
+    roots = [s for s in spans if s.parent_id is None]
+    print(f"traced {len(roots)} roots / {len(spans)} spans "
+          f"(sample every {args.sample_every}, {tracer.dropped} dropped "
+          f"from a ring of {args.capacity})")
+    print()
+    for root in roots[: max(args.trees, 0)]:
+        label = (f"ticket {root.ticket}" if root.ticket >= 0
+                 else root.name)
+        print(render_span_tree(spans, root=root.span_id,
+                               title=f"trace: {label} ({root.name})"))
+        print()
+    print(render_rollup(spans))
+    print()
+    print("flamegraph (folded stacks, cost-model ns):")
+    print(render_flamegraph(spans))
     return 0
 
 
@@ -895,6 +1079,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "bench": _cmd_bench,
     "serve-bench": _cmd_serve_bench,
+    "trace": _cmd_trace,
     "report": _cmd_report,
 }
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ValidationError
+from ..obs import Tracer
 from ..parallel.machine import SimulatedMachine
 from ..serve.config import ServerConfig
 from ..serve.request import ManualClock
@@ -110,6 +111,13 @@ def build_cluster(config: ServerConfig, *, clock: ManualClock | None = None
         )
     stores, part, _n = _shard_stores(config)
     replicas = config.replicas
+    # one tracer shared by the router and every worker's inner server,
+    # so scatter spans and worker-side kernel spans form one tree
+    tracer = (
+        Tracer(config.obs, clock=clock)
+        if config.obs is not None and config.obs.enabled
+        else None
+    )
     machines: list[SimulatedMachine | None]
     if config.service == "simulated":
         parent = (config.executor
@@ -133,8 +141,10 @@ def build_cluster(config: ServerConfig, *, clock: ManualClock | None = None
                 max_wait_ns=float("inf"),
                 queue_capacity=max(config.queue_capacity,
                                    config.max_batch_size + 1),
+                obs=None,
             ),
             clock=clock,
+            tracer=tracer,
         )
         workers.append(ShardWorker(w, shard, server, machine=machines[w]))
-    return Router(workers, part, config, clock=clock)
+    return Router(workers, part, config, clock=clock, tracer=tracer)

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import ClusterError, ValidationError
+from ..obs import NULL_TRACER, MetricsRegistry, register_server
 from ..query.rowcache import RowCache
 from ..serve.admission import AdmissionController
 from ..serve.coalescer import MicroBatch, MicroBatchCoalescer
@@ -130,13 +131,14 @@ class _Sub:
 class _Gather:
     """Per-batch gather state: how many subs are still out."""
 
-    __slots__ = ("batch", "remaining", "scatter_ns", "service_ns")
+    __slots__ = ("batch", "remaining", "scatter_ns", "service_ns", "span")
 
     def __init__(self, batch, remaining, scatter_ns):
         self.batch = batch
         self.remaining = remaining
         self.scatter_ns = scatter_ns
         self.service_ns = 0.0
+        self.span = None            # open dispatch span id (traced batches)
 
 
 class Router:
@@ -148,7 +150,10 @@ class Router:
     ``s`` are those with ``shard_id == s``), *partitioner* routes node
     keys to shards, and *clock* is the shared
     :class:`~repro.serve.request.ManualClock` all virtual time runs
-    on.
+    on.  *tracer* is the cluster's shared :class:`~repro.obs.Tracer`
+    (also held by every worker's inner server, so router-side scatter
+    spans and worker-side kernel spans land in one tree); defaults to
+    the no-op :data:`~repro.obs.NULL_TRACER`.
     """
 
     def __init__(
@@ -158,6 +163,7 @@ class Router:
         config: ServerConfig,
         *,
         clock: ManualClock,
+        tracer=None,
     ):
         if not workers:
             raise ValidationError("a cluster needs at least one worker")
@@ -201,6 +207,13 @@ class Router:
         self._per_shard_subs: dict[int, int] = {
             s: 0 for s in range(self.num_shards)
         }
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # plain-bool mirror of tracer.enabled (see GraphQueryServer)
+        self._obs = self.tracer.enabled
+        self._traced: dict[int, int] = {}
+        self._traced_jobs: dict[int, int] = {}
+        self.registry = MetricsRegistry()
+        register_server(self.registry, self, prefix="router")
 
     # -- the request lifecycle (GraphQueryServer surface) ----------------
     def submit(self, request: Request) -> ReplySlot:
@@ -226,27 +239,37 @@ class Router:
             )
         if request.ticket >= 0:
             raise ValidationError("request was already submitted")
+        tracer = self.tracer
         now = self._clock()
         request.ticket = self._next_ticket
         self._next_ticket += 1
         request.enqueue_ns = now
         slot = ReplySlot(request)
+        if self._obs and tracer.sample_root():
+            self._traced[request.ticket] = tracer.begin(
+                "request", "router", ticket=request.ticket, start_ns=now,
+                meta={"kind": type(request).__name__,
+                      "tenant": request.tenant},
+            )
         quota = self.tenant_quotas.get(request.tenant)
         if quota is not None and self._tenant_inflight.get(
             request.tenant, 0
         ) >= quota:
             self.quota_rejected += 1
             slot._resolve(REJECTED)
+            self._end_root(request.ticket, now, status="quota-rejected")
             return slot
         decision = self.admission.decide(self.coalescer.pending)
         if decision == "reject":
             slot._resolve(REJECTED)
+            self._end_root(request.ticket, now, status="rejected")
             return slot
         if decision == "shed":
             victim = self.coalescer.evict_oldest()
             vslot = self._slots.pop(victim.ticket)
             self._tenant_done(victim.tenant)
             vslot._resolve(SHED)
+            self._end_root(victim.ticket, now, status="shed")
         elif decision == "block":
             batch = self.coalescer.close_batch(now, "flush")
             if batch is not None:
@@ -291,6 +314,12 @@ class Router:
         self._next_ticket += 1
         request.enqueue_ns = now
         request.dispatch_ns = now
+        tracer = self.tracer
+        if self._obs and tracer.sample_root():
+            self._traced_jobs[request.ticket] = tracer.begin(
+                "job", "algorithms", ticket=request.ticket, start_ns=now,
+                meta={"algorithm": request.algorithm},
+            )
         self._jobs.append(JobHandle(request, stepper))
         return self._jobs[-1]
 
@@ -322,11 +351,28 @@ class Router:
         if not self._jobs:
             return 0
         handle = self._jobs[0]
-        if handle._advance(self.config.job_slice_steps):
+        if self._advance_job(handle):
             self._jobs.popleft()
-            handle.request.complete_ns = float(self._clock())
+            self._finish_job(handle)
             return 1
         return 0
+
+    def _advance_job(self, handle: JobHandle) -> bool:
+        """Grant one slice allowance inside a ``job-slice`` span (when
+        the job is traced); returns whether the job finished."""
+        jsid = self._traced_jobs.get(handle.request.ticket)
+        if jsid is None:
+            return handle._advance(self.config.job_slice_steps)
+        with self.tracer.span("job-slice", "algorithms",
+                              ticket=handle.request.ticket, parent=jsid):
+            return handle._advance(self.config.job_slice_steps)
+
+    def _finish_job(self, handle: JobHandle) -> None:
+        """Stamp completion and close the job's root span (if traced)."""
+        handle.request.complete_ns = float(self._clock())
+        jsid = self._traced_jobs.pop(handle.request.ticket, None)
+        if jsid is not None:
+            self.tracer.end(jsid, handle.request.complete_ns)
 
     def pump(self, now: float | None = None) -> int:
         """Run the event loop up to *now*, scatter every batch the
@@ -359,10 +405,10 @@ class Router:
             served += self.pump(t)
         while self._jobs:
             handle = self._jobs[0]
-            while not handle._advance(self.config.job_slice_steps):
+            while not self._advance_job(handle):
                 pass
             self._jobs.popleft()
-            handle.request.complete_ns = float(self._clock())
+            self._finish_job(handle)
         return served
 
     def next_wakeup_ns(self) -> float | None:
@@ -405,7 +451,31 @@ class Router:
         shards = sorted(set(shard_nodes) | set(shard_edges))
         gather = _Gather(batch, len(shards), t)
         self._gathers[id(batch)] = gather
+        tracer = self.tracer
+        if self._obs:
+            parent = None
+            traced = self._traced
+            for lane in (plan.neighbor_requests, plan.edge_requests):
+                for req in lane:
+                    root = traced.get(req.ticket)
+                    if root is None:
+                        continue
+                    tracer.record("enqueue", "router", ticket=req.ticket,
+                                  start_ns=float(req.enqueue_ns), end_ns=t,
+                                  parent=root)
+                    if parent is None:
+                        parent = root
+            if parent is not None:
+                # stays open until the last sub gathers (_finish_sub)
+                gather.span = tracer.begin(
+                    "dispatch", "router", parent=parent, start_ns=t,
+                    meta={"batch_size": len(batch),
+                          "closed_by": batch.closed_by,
+                          "shards": len(shards)},
+                )
         if not shards:  # pragma: no cover - empty batches never close
+            if gather.span is not None:
+                tracer.end(gather.span, t)
             del self._gathers[id(batch)]
             return
         for s in shards:
@@ -445,12 +515,26 @@ class Router:
             return False
         worker = min(candidates,
                      key=lambda w: (w.busy_until, w.worker_id))
-        rows, exists, service_ns = worker.serve(
-            sub.nodes, sub.edges, wall=self.config.service == "wall"
-        )
+        gather = self._gathers.get(id(sub.batch))
+        sub_sid = None
+        if gather is not None and gather.span is not None:
+            sub_sid = self.tracer.begin(
+                "sub", "router", parent=gather.span, start_ns=t,
+                meta={"shard": sub.shard, "worker": worker.worker_id,
+                      "hedge": hedge, "attempt": sub.attempts + 1},
+            )
+        # the worker's inner dispatch/kernel spans nest under the sub
+        # span via the stack — no ids threaded through worker.serve
+        with self.tracer.under(sub_sid):
+            rows, exists, service_ns = worker.serve(
+                sub.nodes, sub.edges, wall=self.config.service == "wall"
+            )
         start = max(t, worker.busy_until)
         done_at = start + service_ns
         worker.busy_until = done_at
+        if sub_sid is not None:
+            self.tracer.annotate(sub_sid, service_ns=float(service_ns))
+            self.tracer.end(sub_sid, done_at)
         sub.attempts += 1
         sub.inflight += 1
         sub.dispatched_to.append(worker.worker_id)
@@ -510,6 +594,15 @@ class Router:
             return
         if self._dispatch_sub(sub, t, hedge=True):
             self.hedges_launched += 1
+            gather = self._gathers.get(id(sub.batch))
+            if gather is not None and gather.span is not None:
+                # the wait that triggered the hedge: batch close to the
+                # percentile deadline that just fired
+                self.tracer.record(
+                    "hedge-wait", "router", start_ns=gather.scatter_ns,
+                    end_ns=t, parent=gather.span,
+                    meta={"shard": sub.shard},
+                )
 
     # -- gather -----------------------------------------------------------
     def _gather(self, sub: _Sub, rows, exists, t: float,
@@ -520,9 +613,9 @@ class Router:
         for flag, reqs in zip(exists, sub.edge_items):
             for req in reqs:
                 self._complete(req, bool(flag), sub.batch.closed_ns, t)
-        self._finish_sub(sub, service_ns)
+        self._finish_sub(sub, service_ns, t)
 
-    def _finish_sub(self, sub: _Sub, service_ns: float) -> None:
+    def _finish_sub(self, sub: _Sub, service_ns: float, t: float) -> None:
         """Account one finished (gathered or failed) sub against its
         batch; the batch's metrics record when the last sub lands,
         with the slowest sub as the batch's service time."""
@@ -530,6 +623,8 @@ class Router:
         gather.remaining -= 1
         gather.service_ns = max(gather.service_ns, float(service_ns))
         if gather.remaining == 0:
+            if gather.span is not None:
+                self.tracer.end(gather.span, t)
             del self._gathers[id(sub.batch)]
             batch = sub.batch
             self.metrics.record_batch(
@@ -545,8 +640,18 @@ class Router:
         if slot is None:  # pragma: no cover - would be a demux bug
             raise ClusterError(f"no reply slot for ticket {req.ticket}")
         slot._resolve(DONE, value)
+        self._end_root(req.ticket, complete_ns)
         self._tenant_done(req.tenant)
         self.metrics.record_reply(req.wait_ns, req.latency_ns)
+
+    def _end_root(self, ticket: int, end_ns: float,
+                  status: str | None = None) -> None:
+        """Close a traced request's root span (no-op for untraced)."""
+        sid = self._traced.pop(ticket, None)
+        if sid is not None:
+            if status is not None:
+                self.tracer.annotate(sid, status=status)
+            self.tracer.end(sid, end_ns)
 
     def _fail_sub(self, sub: _Sub, worker: ShardWorker | None,
                   t: float) -> None:
@@ -565,9 +670,10 @@ class Router:
                     continue
                 req.complete_ns = float(t)
                 slot._fail(error)
+                self._end_root(req.ticket, float(t), status="failed")
                 self._tenant_done(req.tenant)
                 self.failed_requests += 1
-        self._finish_sub(sub, 0.0)
+        self._finish_sub(sub, 0.0, t)
 
     def _tenant_done(self, tenant: str) -> None:
         left = self._tenant_inflight.get(tenant, 0) - 1

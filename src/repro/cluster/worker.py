@@ -26,6 +26,14 @@ Replicas of one shard share a single store object — the in-process
 analogue of replica processes memory-mapping the same read-only
 :class:`~repro.disk.DiskStore` segments; replication buys service
 capacity, not copies of the data.
+
+Tracing needs nothing from the worker itself: when the cluster is
+built with ``obs=``, the inner server shares the cluster's
+:class:`~repro.obs.Tracer`, and the router runs :meth:`ShardWorker.serve`
+under its per-attempt ``sub`` span, so the dispatch and kernel spans
+emitted inside :meth:`serve` nest under the scatter tree
+automatically (and the inner server never starts roots of its own —
+root sampling only triggers outside any open span).
 """
 
 from __future__ import annotations

@@ -1,0 +1,94 @@
+"""Thin adapters: existing stats objects -> registry sources and JSON.
+
+The observability layer deliberately does not rewrite any of the
+existing per-layer stats dataclasses — it adapts them.
+:func:`to_jsonable` turns anything the stack produces (frozen stats
+dataclasses, numpy scalars and arrays, :class:`~repro.obs.Span`
+objects, nested containers) into plain JSON-safe Python, and
+:func:`register_server` wires a serving front-end's stats surfaces
+(serve snapshot, row cache, cluster breakdown, tracer ring) into a
+:class:`~repro.obs.MetricsRegistry` as pull-based sources.  The same
+:func:`to_jsonable` backs the CLI's ``--json`` outputs, so ``info``,
+``serve-bench --json``, ``trace --json``, and registry snapshots all
+speak one schema.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["to_jsonable", "stats_dict", "register_server"]
+
+
+def to_jsonable(value):
+    """Recursively convert *value* into JSON-serialisable Python.
+
+    Handles dataclasses (by field), numpy scalars and arrays, mappings
+    (keys coerced to ``str``), sequences, and objects exposing
+    ``to_dict``; everything else must already be JSON-safe.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    to_dict = getattr(value, "to_dict", None)
+    if callable(to_dict):
+        return to_jsonable(to_dict())
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: to_jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in value]
+    return value
+
+
+def stats_dict(obj) -> dict:
+    """One stats object as a flat JSON-safe dict (via :func:`to_jsonable`)."""
+    out = to_jsonable(obj)
+    if not isinstance(out, dict):
+        raise TypeError(
+            f"{type(obj).__name__} does not flatten to a dict of stats"
+        )
+    return out
+
+
+def register_server(registry, server, *, prefix: str = "server") -> None:
+    """Register a serving front-end's stats surfaces as registry sources.
+
+    Duck-typed over both :class:`~repro.serve.server.GraphQueryServer`
+    and the cluster :class:`~repro.cluster.Router`: always registers
+    ``{prefix}.serve`` (the :meth:`snapshot` serve metrics), plus
+    ``{prefix}.cache`` / ``{prefix}.cluster`` / ``{prefix}.trace``
+    when the front-end exposes a row cache, cluster stats, or an
+    enabled tracer.  Sources returning ``None`` are omitted from
+    snapshots, so optional layers cost nothing while absent.
+    """
+    registry.register_source(f"{prefix}.serve", lambda: server.snapshot())
+    if hasattr(server, "row_cache"):
+        registry.register_source(
+            f"{prefix}.cache",
+            lambda: (server.row_cache.stats()
+                     if server.row_cache is not None else None),
+        )
+    if hasattr(server, "cluster_stats"):
+        registry.register_source(
+            f"{prefix}.cluster", lambda: server.cluster_stats()
+        )
+    tracer = getattr(server, "tracer", None)
+    if tracer is not None and tracer.enabled:
+        registry.register_source(
+            f"{prefix}.trace",
+            lambda: {"finished_spans": len(tracer.spans()),
+                     "dropped_spans": tracer.dropped,
+                     "sample_every": tracer.config.sample_every},
+        )

@@ -116,12 +116,26 @@ class PhaseRecord:
 
 
 class Executor(abc.ABC):
-    """Abstract p-processor executor for chunked bulk-synchronous kernels."""
+    """Abstract p-processor executor for chunked bulk-synchronous kernels.
+
+    ``cost_observer`` is the observability hook: when set to a callable
+    ``observer(label, cost)`` (e.g. a
+    :meth:`repro.obs.Tracer.on_cost` bound method), every phase's total
+    declared :class:`Cost` is reported to it — including on the real
+    executors, which otherwise discard charges.  It defaults to
+    ``None`` so the hot path pays nothing when nobody is watching.
+    """
 
     def __init__(self, p: int):
         if p < 1:
             raise ValidationError("executor width p must be >= 1")
         self.p = int(p)
+        self.cost_observer: Callable[[str, Cost], None] | None = None
+
+    def _observe_cost(self, label: str, cost: Cost) -> None:
+        """Report one phase's total charged cost to the observer."""
+        if self.cost_observer is not None and not cost.is_zero():
+            self.cost_observer(label or "phase", cost)
 
     @abc.abstractmethod
     def parallel(self, tasks: Sequence[Task], *, label: str = "") -> list:
@@ -174,8 +188,14 @@ class SerialExecutor(Executor):
 
     def parallel(self, tasks: Sequence[Task], *, label: str = "") -> list:
         start = time.perf_counter_ns()
-        results = [task(TaskContext(i % self.p, self.p)) for i, task in enumerate(tasks)]
+        acc = CostAccumulator() if self.cost_observer is not None else None
+        results = [
+            task(TaskContext(i % self.p, self.p, acc))
+            for i, task in enumerate(tasks)
+        ]
         self._elapsed += time.perf_counter_ns() - start
+        if acc is not None:
+            self._observe_cost(label, acc.total)
         return results
 
     def locked(self, tasks: Sequence[Task], *, label: str = "") -> list:
@@ -183,8 +203,11 @@ class SerialExecutor(Executor):
 
     def serial(self, task: Task, *, label: str = "") -> Any:
         start = time.perf_counter_ns()
-        result = task(TaskContext(0, self.p))
+        acc = CostAccumulator() if self.cost_observer is not None else None
+        result = task(TaskContext(0, self.p, acc))
         self._elapsed += time.perf_counter_ns() - start
+        if acc is not None:
+            self._observe_cost(label, acc.total)
         return result
 
     def elapsed_ns(self) -> float:
@@ -211,24 +234,43 @@ class ThreadExecutor(Executor):
 
     def parallel(self, tasks: Sequence[Task], *, label: str = "") -> list:
         start = time.perf_counter_ns()
+        observe = self.cost_observer is not None
+        # per-task accumulators: charges from concurrent tasks must not
+        # race on one accumulator, so each task owns its own and the
+        # totals are folded after the barrier
+        accs = [CostAccumulator() if observe else None for _ in tasks]
         futures = [
-            self._pool.submit(task, TaskContext(i % self.p, self.p))
+            self._pool.submit(task, TaskContext(i % self.p, self.p, accs[i]))
             for i, task in enumerate(tasks)
         ]
         results = [f.result() for f in futures]
         self._elapsed += time.perf_counter_ns() - start
+        if observe:
+            total = Cost.zero()
+            for acc in accs:
+                total = total + acc.total
+            self._observe_cost(label, total)
         return results
 
     def locked(self, tasks: Sequence[Task], *, label: str = "") -> list:
         start = time.perf_counter_ns()
-        results = [task(TaskContext(i % self.p, self.p)) for i, task in enumerate(tasks)]
+        acc = CostAccumulator() if self.cost_observer is not None else None
+        results = [
+            task(TaskContext(i % self.p, self.p, acc))
+            for i, task in enumerate(tasks)
+        ]
         self._elapsed += time.perf_counter_ns() - start
+        if acc is not None:
+            self._observe_cost(label, acc.total)
         return results
 
     def serial(self, task: Task, *, label: str = "") -> Any:
         start = time.perf_counter_ns()
-        result = task(TaskContext(0, self.p))
+        acc = CostAccumulator() if self.cost_observer is not None else None
+        result = task(TaskContext(0, self.p, acc))
         self._elapsed += time.perf_counter_ns() - start
+        if acc is not None:
+            self._observe_cost(label, acc.total)
         return result
 
     def elapsed_ns(self) -> float:
@@ -293,6 +335,7 @@ class SimulatedMachine(Executor):
     def parallel(self, tasks: Sequence[Task], *, label: str = "") -> list:
         busy = [0.0] * self.p
         phase_bytes = 0.0
+        phase_cost = Cost.zero()
         results = []
         for i, task in enumerate(tasks):
             proc = i % self.p
@@ -300,6 +343,8 @@ class SimulatedMachine(Executor):
             results.append(task(TaskContext(proc, self.p, acc)))
             busy[proc] += self.cost_model.time_ns(acc.total) + self.cost_model.dispatch_ns
             phase_bytes += self._bytes_moved(acc.total)
+            phase_cost = phase_cost + acc.total
+        self._observe_cost(label, phase_cost)
         duration = max(busy) + self.cost_model.sync_ns if tasks else 0.0
         if tasks and self.memory_bandwidth_gbs:
             # a shared memory bus floors the phase at (traffic beyond
@@ -317,6 +362,7 @@ class SimulatedMachine(Executor):
         duration = 0.0
         results = []
         per_proc = [0.0] * self.p
+        phase_cost = Cost.zero()
         for i, task in enumerate(tasks):
             proc = i % self.p
             acc = CostAccumulator()
@@ -324,12 +370,15 @@ class SimulatedMachine(Executor):
             t = self.cost_model.time_ns(acc.total) + self.cost_model.lock_ns
             duration += t
             per_proc[proc] += t
+            phase_cost = phase_cost + acc.total
+        self._observe_cost(label, phase_cost)
         self._advance(duration, "locked", label, tuple(per_proc))
         return results
 
     def serial(self, task: Task, *, label: str = "") -> Any:
         acc = CostAccumulator()
         result = task(TaskContext(0, self.p, acc))
+        self._observe_cost(label, acc.total)
         self._advance(self.cost_model.time_ns(acc.total), "serial", label, ())
         return result
 

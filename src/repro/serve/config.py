@@ -82,6 +82,12 @@ class ServerConfig:
     tenant; missing tenants are unlimited).  ``cluster`` forces the
     router on (``True``, even with one worker — the scaling bench's
     1-worker baseline) or off (``False``).
+
+    Observability: ``obs`` accepts an :class:`~repro.obs.ObsConfig`
+    (or ``True`` for the defaults / ``False``/``None`` for off) and
+    makes the server — or the router and every shard worker under it,
+    sharing one tracer — emit sampled request/kernel spans readable
+    via ``server.tracer`` and the CLI ``trace`` subcommand.
     """
 
     store: Any = None
@@ -107,8 +113,20 @@ class ServerConfig:
     service: str = "simulated"
     tenant_quotas: Mapping[str, int] = field(default_factory=dict)
     cluster: bool | None = None
+    obs: Any = None
 
     def __post_init__(self):
+        from ..obs import ObsConfig
+
+        if self.obs is True:
+            object.__setattr__(self, "obs", ObsConfig())
+        elif self.obs is False:
+            object.__setattr__(self, "obs", None)
+        if self.obs is not None and not isinstance(self.obs, ObsConfig):
+            raise ValidationError(
+                f"obs= takes an ObsConfig (or True/False), got "
+                f"{type(self.obs).__name__}"
+            )
         require(self.max_batch_size >= 1, "max_batch_size must be >= 1")
         require(self.max_wait_ns >= 0, "max_wait_ns must be non-negative")
         require(self.queue_capacity >= 1, "queue_capacity must be >= 1")

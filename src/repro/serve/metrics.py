@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import ValidationError
 from ..utils import require
 
 __all__ = ["ServeMetrics", "ServeSnapshot", "quantiles", "log2_histogram"]
@@ -27,10 +28,16 @@ _QUANTILES = (0.50, 0.95, 0.99)
 
 
 def quantiles(values, qs=_QUANTILES) -> tuple[float, ...]:
-    """Linear-interpolated quantiles of *values* (zeros when empty)."""
+    """Linear-interpolated quantiles of *values* (zeros when empty).
+
+    NaN samples raise a one-line :class:`~repro.errors.ValidationError`
+    rather than silently poisoning every percentile downstream.
+    """
     if len(values) == 0:
         return tuple(0.0 for _ in qs)
     arr = np.asarray(values, dtype=np.float64)
+    if np.isnan(arr).any():
+        raise ValidationError("quantiles: NaN is not a sample")
     return tuple(float(np.quantile(arr, q)) for q in qs)
 
 
@@ -39,10 +46,13 @@ def log2_histogram(values) -> dict[int, int]:
 
     Bucket ``b`` counts values in ``(2**(b-1), 2**b]`` (bucket 0 holds
     values <= 1, including zeros), so wait times spanning decades stay
-    a readable handful of rows.
+    a readable handful of rows.  NaN samples raise a one-line
+    :class:`~repro.errors.ValidationError`.
     """
     out: dict[int, int] = {}
     for v in values:
+        if v != v:
+            raise ValidationError("log2_histogram: NaN is not a sample")
         b = 0 if v <= 1 else int(np.ceil(np.log2(float(v))))
         out[b] = out.get(b, 0) + 1
     return dict(sorted(out.items()))
@@ -82,6 +92,7 @@ class ServeSnapshot:
     write_ns_p99: float = 0.0
     memtable_edges: int = 0
     compactions: int = 0
+    admission_enabled: bool = True
 
     @property
     def mean_batch_size(self) -> float:
@@ -166,7 +177,10 @@ class ServeMetrics:
 
         ``admission_stats`` (an
         :class:`~repro.serve.admission.AdmissionStats`) contributes the
-        accepted/rejected/shed/blocked counts; ``elapsed_s`` enables
+        accepted/rejected/shed/blocked counts — passing ``None`` marks
+        the snapshot ``admission_enabled=False``, so renderers can show
+        "admission off" instead of a misleading zero-rejects row;
+        ``elapsed_s`` enables
         the throughput property; ``lsm`` (an
         :class:`~repro.lsm.LsmStats`) contributes the write target's
         memtable size and compaction count.
@@ -204,6 +218,7 @@ class ServeMetrics:
             write_ns_p99=xp99,
             memtable_edges=getattr(lsm, "memtable_edges", 0),
             compactions=getattr(lsm, "compactions", 0),
+            admission_enabled=admission_stats is not None,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -29,6 +29,7 @@ import time
 from collections import deque
 
 from ..errors import QueryError, ReproError, ValidationError
+from ..obs import NULL_TRACER, MetricsRegistry, Tracer, register_server
 from ..parallel.machine import Executor
 from ..query.capabilities import capabilities
 from ..query.edges import Method
@@ -74,6 +75,11 @@ class GraphQueryServer:
         Nanosecond monotonic clock for every lifecycle stamp;
         injectable (:class:`~repro.serve.request.ManualClock`) for
         deterministic tests and virtual-time latency studies.
+    tracer:
+        An explicit :class:`~repro.obs.Tracer` to share (the cluster
+        passes one tracer to every shard worker); defaults to a fresh
+        tracer when ``config.obs`` asks for one, else the no-op
+        :data:`~repro.obs.NULL_TRACER`.
     """
 
     def __init__(
@@ -83,6 +89,7 @@ class GraphQueryServer:
         *,
         config: ServerConfig | None = None,
         clock=default_clock,
+        tracer=None,
         **removed,
     ):
         if removed:
@@ -115,6 +122,20 @@ class GraphQueryServer:
         self._write_target = (
             target if capabilities(target).supports_writes else None
         )
+        if tracer is None:
+            tracer = (
+                Tracer(config.obs, clock=clock)
+                if config.obs is not None and config.obs.enabled
+                else NULL_TRACER
+            )
+        self.tracer = tracer
+        # plain-bool mirror of tracer.enabled: submit/_dispatch test it
+        # per request, and a property lookup is measurable at 10k qps
+        self._obs = tracer.enabled
+        self._traced: dict[int, int] = {}
+        self._traced_jobs: dict[int, int] = {}
+        self.registry = MetricsRegistry()
+        register_server(self.registry, self, prefix="server")
 
     @property
     def store(self):
@@ -148,20 +169,31 @@ class GraphQueryServer:
                 f"unsupported request type {type(request).__name__}"
             )
         require(request.ticket < 0, "request was already submitted")
+        tracer = self.tracer
         now = self._clock()
         request.ticket = self._next_ticket
         self._next_ticket += 1
         request.enqueue_ns = now
         slot = ReplySlot(request)
+        # root sampling: only top-level submits start a trace — a shard
+        # worker's inner submits run under the router's sub span
+        # (current() is non-None there) and must not consume samples
+        if self._obs and tracer.sample_root():
+            self._traced[request.ticket] = tracer.begin(
+                "request", "serve", ticket=request.ticket, start_ns=now,
+                meta={"kind": type(request).__name__},
+            )
         if isinstance(request, WriteRequest):
             return self._apply_write(request, slot, now)
         decision = self.admission.decide(self.coalescer.pending)
         if decision == "reject":
             slot._resolve(REJECTED)
+            self._end_root(request.ticket, now, status="rejected")
             return slot
         if decision == "shed":
             victim = self.coalescer.evict_oldest()
             self._slots.pop(victim.ticket)._resolve(SHED)
+            self._end_root(victim.ticket, now, status="shed")
         elif decision == "block":
             # backpressure: serve a batch now so the queue has room
             batch = self.coalescer.close_batch(now, "flush")
@@ -193,6 +225,13 @@ class GraphQueryServer:
             raise ValidationError(
                 f"unknown write op {request.op!r} (known: insert, delete)"
             )
+        root = self._traced.get(request.ticket)
+        wsid = None
+        if root is not None:
+            wsid = self.tracer.begin(
+                "write", "lsm", ticket=request.ticket, parent=root,
+                start_ns=now, meta={"op": request.op},
+            )
         t0 = time.perf_counter_ns()
         if request.op == "insert":
             applied = self._write_target.insert_edge(request.u, request.v)
@@ -209,6 +248,10 @@ class GraphQueryServer:
         service_ns = time.perf_counter_ns() - t0
         request.dispatch_ns = now
         request.complete_ns = max(float(now), float(self._clock()))
+        if wsid is not None:
+            self.tracer.annotate(wsid, applied=bool(applied))
+            self.tracer.end(wsid, request.complete_ns)
+            self._end_root(request.ticket, request.complete_ns)
         slot._resolve(DONE, applied)
         # writes live in their own counters (writes / write_noops /
         # write percentiles) — the read-side completed/batch metrics
@@ -249,6 +292,12 @@ class GraphQueryServer:
         self._next_ticket += 1
         request.enqueue_ns = now
         request.dispatch_ns = now
+        tracer = self.tracer
+        if self._obs and tracer.sample_root():
+            self._traced_jobs[request.ticket] = tracer.begin(
+                "job", "algorithms", ticket=request.ticket, start_ns=now,
+                meta={"algorithm": request.algorithm},
+            )
         self._jobs.append(JobHandle(request, stepper))
         return self._jobs[-1]
 
@@ -264,11 +313,35 @@ class GraphQueryServer:
         if not self._jobs:
             return 0
         handle = self._jobs[0]
-        if handle._advance(self.config.job_slice_steps):
+        if self._advance_job(handle):
             self._jobs.popleft()
-            handle.request.complete_ns = float(self._clock())
+            self._finish_job(handle)
             return 1
         return 0
+
+    def _advance_job(self, handle: JobHandle) -> bool:
+        """Grant one slice allowance inside a ``job-slice`` span (when
+        the job is traced); returns whether the job finished."""
+        jsid = self._traced_jobs.get(handle.request.ticket)
+        if jsid is None:
+            return handle._advance(self.config.job_slice_steps)
+        # job steppers run on the engine executor too: scope the cost
+        # observer to the traced slice, mirroring _dispatch
+        executor = self.engine.executor
+        executor.cost_observer = self.tracer.on_cost
+        try:
+            with self.tracer.span("job-slice", "algorithms",
+                                  ticket=handle.request.ticket, parent=jsid):
+                return handle._advance(self.config.job_slice_steps)
+        finally:
+            executor.cost_observer = None
+
+    def _finish_job(self, handle: JobHandle) -> None:
+        """Stamp completion and close the job's root span (if traced)."""
+        handle.request.complete_ns = float(self._clock())
+        jsid = self._traced_jobs.pop(handle.request.ticket, None)
+        if jsid is not None:
+            self.tracer.end(jsid, handle.request.complete_ns)
 
     def pump(self, now: float | None = None) -> int:
         """Dispatch every batch the coalescer considers closed at
@@ -302,27 +375,52 @@ class GraphQueryServer:
             served += 1
         while self._jobs:
             handle = self._jobs[0]
-            while not handle._advance(self.config.job_slice_steps):
+            while not self._advance_job(handle):
                 pass
             self._jobs.popleft()
-            handle.request.complete_ns = float(self._clock())
+            self._finish_job(handle)
         return served
 
     # -- batch dispatch -------------------------------------------------
     def _dispatch(self, batch: MicroBatch) -> None:
         plan = batch.plan
-        t0 = time.perf_counter_ns()
-        rows = (
-            self.engine.neighbors(plan.unique_nodes)
-            if plan.unique_nodes.shape[0]
-            else []
-        )
-        exists = (
-            self.engine.has_edges(plan.unique_edges, method=self.edge_method)
-            if plan.unique_edges.shape[0]
-            else None
-        )
-        service_ns = time.perf_counter_ns() - t0
+        tracer = self.tracer
+        parent = None
+        if self._obs:
+            # the dispatch span hangs off the first traced root in the
+            # batch; per-request enqueue spans are recorded at
+            # _complete, so this scan stops at the first hit instead of
+            # walking the whole batch
+            traced = self._traced
+            for lane in (plan.neighbor_requests, plan.edge_requests):
+                for req in lane:
+                    root = traced.get(req.ticket)
+                    if root is not None:
+                        parent = root
+                        break
+                if parent is not None:
+                    break
+            if parent is None:
+                # inner worker path: dispatch nests under the router's
+                # sub span pushed around worker.serve
+                parent = tracer.current()
+        if parent is not None:
+            # kernel phases report their declared Cost to the innermost
+            # open span; the observer is scoped to traced batches — an
+            # always-installed hook fires on every phase of every
+            # untraced batch just to throw the cost away
+            executor = self.engine.executor
+            executor.cost_observer = tracer.on_cost
+            try:
+                with tracer.span("dispatch", "serve", parent=parent,
+                                 meta={"batch_size": len(batch),
+                                       "closed_by": batch.closed_by}) as dsid:
+                    rows, exists, service_ns = self._run_kernels(plan, tracer)
+                    tracer.annotate(dsid, service_ns=float(service_ns))
+            finally:
+                executor.cost_observer = None
+        else:
+            rows, exists, service_ns = self._run_kernels(plan, NULL_TRACER)
         # completion is stamped on the server clock at dispatch (never
         # before the batch's analytic close time): under a manual clock
         # latency is pure queueing/poll-cadence time, under the wall
@@ -336,6 +434,30 @@ class GraphQueryServer:
         for req, lane in zip(plan.edge_requests, plan.edge_lane):
             self._complete(req, bool(exists[lane]), batch.closed_ns, done_ns)
 
+    def _run_kernels(self, plan, tracer):
+        """Run the batch's neighbor/edge kernels inside kernel spans.
+
+        *tracer* is the live tracer for traced batches (each kernel
+        span sits innermost on the stack, so the executor's cost
+        observer charges the kernel's declared Cost to it) and the
+        null tracer for untraced ones.
+        """
+        t0 = time.perf_counter_ns()
+        if plan.unique_nodes.shape[0]:
+            with tracer.span("kernel:neighbors", "query",
+                             meta={"keys": int(plan.unique_nodes.shape[0])}):
+                rows = self.engine.neighbors(plan.unique_nodes)
+        else:
+            rows = []
+        if plan.unique_edges.shape[0]:
+            with tracer.span("kernel:edges", "query",
+                             meta={"keys": int(plan.unique_edges.shape[0])}):
+                exists = self.engine.has_edges(plan.unique_edges,
+                                               method=self.edge_method)
+        else:
+            exists = None
+        return rows, exists, time.perf_counter_ns() - t0
+
     def _complete(self, req: Request, value, dispatch_ns: float,
                   complete_ns: float) -> None:
         req.dispatch_ns = float(dispatch_ns)
@@ -344,7 +466,26 @@ class GraphQueryServer:
         if slot is None:  # pragma: no cover - would be a demux bug
             raise QueryError(f"no reply slot for ticket {req.ticket}")
         slot._resolve(DONE, value)
+        if self._obs:
+            sid = self._traced.pop(req.ticket, None)
+            if sid is not None:
+                # queue wait is analytic: submit stamp -> batch close
+                self.tracer.record(
+                    "enqueue", "serve", ticket=req.ticket,
+                    start_ns=float(req.enqueue_ns),
+                    end_ns=float(dispatch_ns), parent=sid,
+                )
+                self.tracer.end(sid, complete_ns)
         self.metrics.record_reply(req.wait_ns, req.latency_ns)
+
+    def _end_root(self, ticket: int, end_ns: float,
+                  status: str | None = None) -> None:
+        """Close a traced request's root span (no-op for untraced)."""
+        sid = self._traced.pop(ticket, None)
+        if sid is not None:
+            if status is not None:
+                self.tracer.annotate(sid, status=status)
+            self.tracer.end(sid, end_ns)
 
     # -- observability --------------------------------------------------
     def snapshot(self, *, elapsed_s: float | None = None) -> ServeSnapshot:

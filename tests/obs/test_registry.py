@@ -1,0 +1,130 @@
+"""Unit tests for the metrics registry, its primitives, and adapters."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError, ValidationError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Log2Histogram,
+    MetricsRegistry,
+    stats_dict,
+    to_jsonable,
+)
+
+
+class TestPrimitives:
+    def test_counter_increments(self):
+        c = Counter("reqs")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ReproError, match="only increase"):
+            Counter("reqs").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_histogram_buckets_powers_of_two(self):
+        h = Log2Histogram("wait")
+        for v in (1, 2, 3, 4, 1000):
+            h.observe(v)
+        # bucket b covers (2**(b-1), 2**b]; <=1 lands in bucket 0
+        assert h.to_dict() == {0: 1, 1: 1, 2: 2, 10: 1}
+        assert h.count == 5
+
+    def test_histogram_rejects_nan(self):
+        h = Log2Histogram("wait")
+        with pytest.raises(ValidationError, match="NaN is not a sample"):
+            h.observe(float("nan"))
+        assert h.count == 0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_cross_kind_name_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValidationError, match="already exists as a counter"):
+            reg.gauge("x")
+        with pytest.raises(ValidationError, match="already exists as a counter"):
+            reg.histogram("x")
+
+    def test_snapshot_merges_primitives_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc(2)
+        reg.counter("a").inc(1)
+        reg.gauge("depth").set(7)
+        reg.histogram("wait").observe(3)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["counters"]["b"] == 2
+        assert snap["gauges"]["depth"] == 7.0
+        assert snap["histograms"]["wait"] == {2: 1}
+
+    def test_sources_pulled_and_none_omitted(self):
+        reg = MetricsRegistry()
+        reg.register_source("live", lambda: {"n": np.int64(3)})
+        reg.register_source("absent", lambda: None)
+        snap = reg.snapshot()
+        assert snap["live"] == {"n": 3}
+        assert "absent" not in snap
+
+    def test_duplicate_source_rejected(self):
+        reg = MetricsRegistry()
+        reg.register_source("s", dict)
+        with pytest.raises(ValidationError, match="already registered"):
+            reg.register_source("s", dict)
+
+    def test_source_must_be_callable(self):
+        with pytest.raises(ReproError, match="callable"):
+            MetricsRegistry().register_source("s", 42)
+
+    def test_empty_registry_snapshot_is_empty(self):
+        assert MetricsRegistry().snapshot() == {}
+
+
+@dataclasses.dataclass(frozen=True)
+class _Stats:
+    hits: int
+    rate: float
+    samples: np.ndarray
+
+
+class TestAdapters:
+    def test_to_jsonable_numpy(self):
+        assert to_jsonable(np.int32(4)) == 4
+        assert to_jsonable(np.float64(2.5)) == 2.5
+        assert to_jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_to_jsonable_dataclass_recurses(self):
+        s = _Stats(hits=np.int64(3), rate=0.5, samples=np.array([1.0]))
+        assert to_jsonable(s) == {"hits": 3, "rate": 0.5, "samples": [1.0]}
+
+    def test_to_jsonable_dict_keys_coerced(self):
+        assert to_jsonable({3: np.int64(1)}) == {"3": 1}
+
+    def test_to_jsonable_prefers_to_dict(self):
+        class Obj:
+            def to_dict(self):
+                return {"k": np.int64(9)}
+
+        assert to_jsonable(Obj()) == {"k": 9}
+
+    def test_stats_dict_requires_dict_shape(self):
+        assert stats_dict(_Stats(1, 2.0, np.array([])))["hits"] == 1
+        with pytest.raises(TypeError, match="does not flatten"):
+            stats_dict([1, 2, 3])

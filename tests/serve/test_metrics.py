@@ -24,6 +24,15 @@ class TestQuantiles:
     def test_single_value(self):
         assert quantiles([42.0]) == (42.0, 42.0, 42.0)
 
+    def test_all_identical(self):
+        assert quantiles([7.0] * 50) == (7.0, 7.0, 7.0)
+
+    def test_nan_rejected_with_one_line_error(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="NaN is not a sample"):
+            quantiles([1.0, float("nan"), 3.0])
+
 
 class TestHistogram:
     def test_log2_buckets(self):
@@ -34,6 +43,21 @@ class TestHistogram:
     def test_sorted_keys(self):
         hist = log2_histogram([1000, 1, 30])
         assert list(hist) == sorted(hist)
+
+    def test_empty_is_empty(self):
+        assert log2_histogram([]) == {}
+
+    def test_single_sample(self):
+        assert log2_histogram([5]) == {3: 1}
+
+    def test_all_identical(self):
+        assert log2_histogram([8.0] * 4) == {3: 4}
+
+    def test_nan_rejected_with_one_line_error(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="NaN is not a sample"):
+            log2_histogram([1.0, float("nan")])
 
 
 class TestServeMetrics:
@@ -78,6 +102,15 @@ class TestServeMetrics:
         assert snap.shed == 1
         assert snap.rejected == 0
 
+    def test_admission_enabled_flag(self):
+        from repro.serve import AdmissionController
+
+        # no controller stats: zero rejects means "admission was off",
+        # and the snapshot says so instead of implying a perfect run
+        assert self._filled().snapshot().admission_enabled is False
+        ac = AdmissionController(4, "reject")
+        assert self._filled().snapshot(ac.stats()).admission_enabled is True
+
 
 class TestRendering:
     def test_tables_render(self):
@@ -110,3 +143,21 @@ class TestRendering:
         snap = ServeMetrics().snapshot()
         text = render_serve_report(snap)
         assert "row cache" not in text
+
+    def test_admission_off_labelled_not_zero(self):
+        text = render_serve_metrics(self._filled_snapshot())
+        assert "off (no controller wired)" in text
+        assert "rejected" not in text
+
+    def test_admission_on_shows_reject_rows(self):
+        from repro.serve import AdmissionController
+
+        ac = AdmissionController(4, "reject")
+        snap = TestServeMetrics()._filled().snapshot(ac.stats())
+        text = render_serve_metrics(snap)
+        assert "rejected" in text
+        assert "off (no controller wired)" not in text
+
+    @staticmethod
+    def _filled_snapshot():
+        return TestServeMetrics()._filled().snapshot()

@@ -158,6 +158,92 @@ class TestServeBench:
         assert "req/s" in capsys.readouterr().out
 
 
+class TestTrace:
+    def test_monolithic_trace_renders_all_views(self, capsys):
+        rc = main(["trace", "--nodes", "256", "--edges", "2000",
+                   "--requests", "24", "--seed", "7"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "traced" in out and "roots" in out
+        assert "kernel:neighbors" in out
+        assert "cost rollup" in out
+        assert "flamegraph" in out
+
+    def test_cluster_trace_shows_scatter_chain(self, capsys):
+        rc = main(["trace", "--workers", "4", "--replicas", "2",
+                   "--nodes", "256", "--edges", "2000",
+                   "--requests", "24", "--seed", "7"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "router:sub" in out
+        assert "router:dispatch" in out
+        assert "query:kernel:neighbors" in out
+
+    def test_trace_json_schema(self, capsys):
+        import json
+
+        rc = main(["trace", "--nodes", "128", "--edges", "1000",
+                   "--requests", "8", "--json", "--seed", "7"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "trace"
+        assert doc["mode"] == "monolithic"
+        assert doc["spans"] and doc["rollup"]
+        span = doc["spans"][0]
+        assert {"span_id", "parent_id", "name", "layer", "cost"} <= set(span)
+        roots = [s for s in doc["spans"] if s["parent_id"] is None]
+        assert roots and all(s["name"] == "request" for s in roots)
+
+    def test_trace_built_file(self, packed_file, capsys):
+        rc = main(["trace", "--input", str(packed_file),
+                   "--requests", "8", "--seed", "3"])
+        assert rc == 0
+        assert "kernel:" in capsys.readouterr().out
+
+    def test_trace_sampling_knob(self, capsys):
+        rc = main(["trace", "--nodes", "128", "--edges", "1000",
+                   "--requests", "16", "--sample-every", "4", "--seed", "7"])
+        assert rc == 0
+        assert "sample every 4" in capsys.readouterr().out
+
+
+class TestJsonOutputs:
+    def test_info_json(self, packed_file, capsys):
+        import json
+
+        rc = main(["info", str(packed_file), "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "BitPackedCSR"
+        assert doc["nodes"] == 50
+        assert doc["edges"] == 400
+        assert doc["bits_per_edge"] > 0
+
+    def test_serve_bench_json_monolithic(self, capsys):
+        import json
+
+        rc = main(["serve-bench", "--nodes", "256", "--edges", "2000",
+                   "--requests", "300", "--seed", "7", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "serve-bench"
+        assert doc["mode"] == "monolithic"
+        assert doc["speedup"] > 0
+        assert doc["coalesced"]["completed"] > 0
+
+    def test_serve_bench_json_cluster(self, capsys):
+        import json
+
+        rc = main(["serve-bench", "--workers", "2", "--replicas", "1",
+                   "--nodes", "256", "--edges", "2000",
+                   "--requests", "400", "--seed", "7", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["mode"] == "cluster"
+        assert doc["workers"] == 2
+        assert doc["cluster"]["subs_dispatched"] > 0
+
+
 class TestCleanErrors:
     """ReproError must exit non-zero with a one-line message — no
     traceback — all the way through the real interpreter entry point."""

@@ -26,6 +26,7 @@ PACKAGES = [
     "repro.serve",
     "repro.cluster",
     "repro.algorithms",
+    "repro.obs",
 ]
 
 
